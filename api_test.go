@@ -1,0 +1,102 @@
+package ramr_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ramr"
+)
+
+// wcSpec builds a small word-count job over synthetic text.
+func wcSpec(nChunks int) *ramr.Spec[string, string, int, int] {
+	words := []string{"map", "reduce", "combine", "queue", "core", "cache"}
+	splits := make([]string, nChunks)
+	for i := range splits {
+		var b strings.Builder
+		for j := 0; j < 200; j++ {
+			b.WriteString(words[(i*7+j*13)%len(words)])
+			b.WriteByte(' ')
+		}
+		splits[i] = b.String()
+	}
+	return &ramr.Spec[string, string, int, int]{
+		Name:   "wordcount-smoke",
+		Splits: splits,
+		Map: func(s string, emit func(string, int)) {
+			for _, w := range strings.Fields(s) {
+				emit(w, 1)
+			}
+		},
+		Combine:      func(a, b int) int { return a + b },
+		Reduce:       ramr.IdentityReduce[string, int](),
+		NewContainer: ramr.HashFactory[string, int](),
+		Less:         func(a, b string) bool { return a < b },
+	}
+}
+
+// TestEnginesAgree runs the same job through RAMR and Phoenix++ and
+// requires identical ordered output.
+func TestEnginesAgree(t *testing.T) {
+	spec := wcSpec(64)
+	cfg := ramr.DefaultConfig()
+	cfg.Mappers = 4
+	cfg.Ratio = 2
+
+	ra, err := ramr.Run(spec, cfg)
+	if err != nil {
+		t.Fatalf("RAMR run: %v", err)
+	}
+	ph, err := ramr.RunPhoenix(spec, cfg)
+	if err != nil {
+		t.Fatalf("Phoenix run: %v", err)
+	}
+	if len(ra.Pairs) == 0 {
+		t.Fatal("RAMR produced no output")
+	}
+	if len(ra.Pairs) != len(ph.Pairs) {
+		t.Fatalf("output sizes differ: ramr %d, phoenix %d", len(ra.Pairs), len(ph.Pairs))
+	}
+	total := 0
+	for i := range ra.Pairs {
+		if ra.Pairs[i] != ph.Pairs[i] {
+			t.Fatalf("pair %d differs: ramr %+v, phoenix %+v", i, ra.Pairs[i], ph.Pairs[i])
+		}
+		total += ra.Pairs[i].Value
+	}
+	if want := 64 * 200; total != want {
+		t.Fatalf("total word count = %d, want %d", total, want)
+	}
+	if ra.QueueStats.Pushes != ra.QueueStats.Pops {
+		t.Fatalf("queue pushes %d != pops %d", ra.QueueStats.Pushes, ra.QueueStats.Pops)
+	}
+}
+
+// TestConfigKnobs exercises the main configuration space on a small job.
+func TestConfigKnobs(t *testing.T) {
+	spec := wcSpec(16)
+	for _, mappers := range []int{1, 2, 5} {
+		for _, ratio := range []int{1, 3} {
+			for _, batch := range []int{1, 7, 4096} {
+				for _, pin := range []ramr.PinPolicy{ramr.PinRAMR, ramr.PinRoundRobin, ramr.PinNone} {
+					cfg := ramr.DefaultConfig()
+					cfg.Mappers = mappers
+					cfg.Ratio = ratio
+					cfg.BatchSize = batch
+					cfg.Pin = pin
+					cfg.QueueCapacity = 64
+					name := fmt.Sprintf("m%d_r%d_b%d_%v", mappers, ratio, batch, pin)
+					t.Run(name, func(t *testing.T) {
+						res, err := ramr.Run(spec, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(res.Pairs) != 6 {
+							t.Fatalf("got %d distinct words, want 6", len(res.Pairs))
+						}
+					})
+				}
+			}
+		}
+	}
+}

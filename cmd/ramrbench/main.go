@@ -1,0 +1,95 @@
+// Command ramrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ramrbench -list
+//	ramrbench fig5 fig8a
+//	ramrbench -quick all
+//	ramrbench -csv fig7 > fig7.csv
+//
+// Experiment ids follow the paper: table1, fig1, fig3, fig4, fig5, fig6,
+// fig7, fig8a, fig8b, fig9a, fig9b, fig10a, fig10b, plus native8a/native8b
+// which re-run the engine comparison with the real runtimes on this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ramr/internal/harness"
+)
+
+// writeCSVFile writes one report as <dir>/<id>.csv.
+func writeCSVFile(dir string, rep *harness.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.RenderCSV(f)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	outdir := flag.String("outdir", "", "also write each report as <outdir>/<id>.csv")
+	quick := flag.Bool("quick", false, "shrink native inputs and repetition counts (CI mode)")
+	seed := flag.Int64("seed", 42, "input-generator seed")
+	runs := flag.Int("runs", 0, "repetitions for native timing experiments (0 = default)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.List() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "ramrbench: no experiment given (try -list, or 'all')")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range harness.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opt := harness.Options{Seed: *seed, Quick: *quick, Runs: *runs}
+	for _, id := range ids {
+		exp, err := harness.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ramrbench:", err)
+			os.Exit(2)
+		}
+		rep, err := exp.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var renderErr error
+		if *csv {
+			renderErr = rep.RenderCSV(os.Stdout)
+		} else {
+			renderErr = rep.Render(os.Stdout)
+			fmt.Println()
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: render %s: %v\n", id, renderErr)
+			os.Exit(1)
+		}
+		if *outdir != "" {
+			if err := writeCSVFile(*outdir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Loganalysis: a realistic MapReduce beyond the benchmark suite — parse
+// web-server access logs and aggregate per-path traffic statistics
+// (requests, bytes, error counts, latency sums) with a struct-valued
+// combine. Demonstrates the public API with a non-trivial value type and
+// a real Reduce that derives final metrics from the combined accumulator.
+//
+//	go run ./examples/loganalysis            # synthetic traffic
+//	go run ./examples/loganalysis -file access.log
+//
+// Log line format (space-separated, one request per line):
+//
+//	<path> <status> <bytes> <latency-us>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+import "ramr"
+
+// acc is the per-path accumulator flowing through the combine phase.
+type acc struct {
+	Requests int
+	Bytes    int64
+	Errors   int
+	LatUS    int64
+}
+
+// pathStats is the final per-path report entry.
+type pathStats struct {
+	Requests  int
+	MBytes    float64
+	ErrorRate float64
+	AvgLatMS  float64
+}
+
+var samplePaths = []string{
+	"/", "/index.html", "/api/v1/users", "/api/v1/orders", "/api/v1/search",
+	"/static/app.js", "/static/app.css", "/img/logo.png", "/healthz", "/admin",
+}
+
+// generate synthesizes n log lines with realistic skew: hot paths get most
+// traffic, /admin mostly 403s, the API occasionally 500s.
+func generate(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(samplePaths)-1))
+	var lines []string
+	var cur strings.Builder
+	for i := 0; i < n; i++ {
+		path := samplePaths[zipf.Uint64()]
+		status := 200
+		switch {
+		case path == "/admin" && rng.Intn(10) < 8:
+			status = 403
+		case strings.HasPrefix(path, "/api/") && rng.Intn(50) == 0:
+			status = 500
+		case rng.Intn(100) == 0:
+			status = 404
+		}
+		bytes := 200 + rng.Intn(50_000)
+		lat := 300 + rng.Intn(20_000)
+		fmt.Fprintf(&cur, "%s %d %d %d\n", path, status, bytes, lat)
+		if cur.Len() > 32<<10 {
+			lines = append(lines, cur.String())
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		lines = append(lines, cur.String())
+	}
+	return lines
+}
+
+// chunkFile splits file contents on line boundaries.
+func chunkFile(data string) []string {
+	const target = 32 << 10
+	var out []string
+	for len(data) > 0 {
+		end := target
+		if end >= len(data) {
+			out = append(out, data)
+			break
+		}
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		if end < len(data) {
+			end++
+		}
+		out = append(out, data[:end])
+		data = data[end:]
+	}
+	return out
+}
+
+func main() {
+	requests := flag.Int("requests", 300_000, "synthetic request count (ignored with -file)")
+	file := flag.String("file", "", "access log to analyze")
+	top := flag.Int("top", 10, "paths to print")
+	flag.Parse()
+
+	var splits []string
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		splits = chunkFile(string(data))
+	} else {
+		splits = generate(*requests, 1)
+	}
+
+	spec := &ramr.Spec[string, string, acc, pathStats]{
+		Name:   "loganalysis",
+		Splits: splits,
+		Map: func(chunk string, emit func(string, acc)) {
+			for _, line := range strings.Split(chunk, "\n") {
+				f := strings.Fields(line)
+				if len(f) != 4 {
+					continue
+				}
+				status, err1 := strconv.Atoi(f[1])
+				bytes, err2 := strconv.ParseInt(f[2], 10, 64)
+				lat, err3 := strconv.ParseInt(f[3], 10, 64)
+				if err1 != nil || err2 != nil || err3 != nil {
+					continue
+				}
+				a := acc{Requests: 1, Bytes: bytes, LatUS: lat}
+				if status >= 400 {
+					a.Errors = 1
+				}
+				emit(f[0], a)
+			}
+		},
+		Combine: func(x, y acc) acc {
+			return acc{
+				Requests: x.Requests + y.Requests,
+				Bytes:    x.Bytes + y.Bytes,
+				Errors:   x.Errors + y.Errors,
+				LatUS:    x.LatUS + y.LatUS,
+			}
+		},
+		Reduce: func(_ string, a acc) pathStats {
+			s := pathStats{Requests: a.Requests, MBytes: float64(a.Bytes) / (1 << 20)}
+			if a.Requests > 0 {
+				s.ErrorRate = float64(a.Errors) / float64(a.Requests)
+				s.AvgLatMS = float64(a.LatUS) / float64(a.Requests) / 1000
+			}
+			return s
+		},
+		NewContainer: ramr.HashFactory[string, acc](),
+		Less:         func(a, b string) bool { return a < b },
+	}
+
+	cfg := ramr.DefaultConfig()
+	// Parsing is compute-heavy relative to the struct-add combine: let
+	// the tuner pick the mapper/combiner split (§III-B).
+	if ratio, err := ramr.TuneRatio(spec, cfg); err == nil {
+		cfg.Combiners = 0
+		cfg.Ratio = ratio
+		fmt.Printf("tuned mapper/combiner ratio: %d\n", ratio)
+	}
+
+	start := time.Now()
+	res, err := ramr.Run(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d paths in %v (%s)\n\n", len(res.Pairs), time.Since(start), res.Phases)
+
+	pairs := res.Pairs
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Value.Requests > pairs[j].Value.Requests })
+	fmt.Printf("%-20s %10s %10s %8s %8s\n", "path", "requests", "MiB", "err%", "lat(ms)")
+	for i := 0; i < *top && i < len(pairs); i++ {
+		p := pairs[i]
+		fmt.Printf("%-20s %10d %10.1f %7.1f%% %8.2f\n",
+			p.Key, p.Value.Requests, p.Value.MBytes, p.Value.ErrorRate*100, p.Value.AvgLatMS)
+	}
+}

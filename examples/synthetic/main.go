@@ -1,0 +1,125 @@
+// Synthetic: a miniature of the paper's Fig. 4 on the public API — a
+// CPU-intensive map with a memory-intensive combine, swept over the
+// mapper/combiner ratio, against the Phoenix++ baseline. On a multicore
+// host the optimal ratio falls as the combine intensity grows, mirroring
+// the paper's ratio 3 -> 2 -> 1 progression.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"time"
+)
+
+import "ramr"
+
+// wide is the shared read-only array the memory kernel wanders over.
+var wide = func() []int64 {
+	w := make([]int64, 1<<21)
+	var h uint64 = 0x9e3779b97f4a7c15
+	for i := range w {
+		h = h*6364136223846793005 + 1442695040888963407
+		w[i] = int64(h)
+	}
+	return w
+}()
+
+func cpuKernel(x float64, iters int) float64 {
+	for i := 0; i < iters; i++ {
+		x = math.Sin(x)*1.0625 + math.Exp(-x*x)*0.5
+	}
+	return x
+}
+
+func memKernel(seed uint64, iters int) uint64 {
+	h := seed | 1
+	var s uint64
+	for i := 0; i < iters; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		s += uint64(wide[(h>>17)&uint64(len(wide)-1)])
+	}
+	return s
+}
+
+func buildSpec(elements, keys, mapIters, combineIters int) *ramr.Spec[[2]int, int, uint64, uint64] {
+	var splits [][2]int
+	for lo := 0; lo < elements; lo += 512 {
+		hi := lo + 512
+		if hi > elements {
+			hi = elements
+		}
+		splits = append(splits, [2]int{lo, hi})
+	}
+	return &ramr.Spec[[2]int, int, uint64, uint64]{
+		Name:   "synthetic",
+		Splits: splits,
+		Map: func(rng [2]int, emit func(int, uint64)) {
+			for e := rng[0]; e < rng[1]; e++ {
+				v := cpuKernel(float64(e%97)/97, mapIters)
+				emit(e%keys, uint64(int64(v*1e6))+1)
+			}
+		},
+		Combine: func(a, b uint64) uint64 {
+			_ = memKernel(a^b, combineIters)
+			return a + b
+		},
+		Reduce:       ramr.IdentityReduce[int, uint64](),
+		NewContainer: ramr.FixedArrayFactory[uint64](keys),
+		Less:         func(a, b int) bool { return a < b },
+	}
+}
+
+func configFor(ratio int) ramr.Config {
+	cfg := ramr.DefaultConfig()
+	total := runtime.GOMAXPROCS(0)
+	c := total / (ratio + 1)
+	if c < 1 {
+		c = 1
+	}
+	m := total - c
+	if m < 1 {
+		m = 1
+	}
+	cfg.Mappers = m
+	cfg.Combiners = c
+	return cfg
+}
+
+func main() {
+	const elements = 60_000
+	const keys = 1024
+	const mapIters = 40
+	fmt.Printf("%d elements, CPU map (%d iters), memory combine swept; %d logical CPUs\n\n",
+		elements, mapIters, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s", "combine")
+	for _, ratio := range []int{3, 2, 1} {
+		fmt.Printf("%12s", fmt.Sprintf("ratio=%d", ratio))
+	}
+	fmt.Printf("%12s\n", "phoenix")
+
+	for _, combineIters := range []int{2, 8, 24, 64} {
+		spec := buildSpec(elements, keys, mapIters, combineIters)
+		fmt.Printf("%-12d", combineIters)
+		bestT, bestR := math.Inf(1), 0
+		for _, ratio := range []int{3, 2, 1} {
+			start := time.Now()
+			if _, err := ramr.Run(spec, configFor(ratio)); err != nil {
+				log.Fatal(err)
+			}
+			el := time.Since(start).Seconds()
+			if el < bestT {
+				bestT, bestR = el, ratio
+			}
+			fmt.Printf("%11.3fs", el)
+		}
+		start := time.Now()
+		if _, err := ramr.RunPhoenix(spec, configFor(1)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%11.3fs   <- best ratio %d\n", time.Since(start).Seconds(), bestR)
+	}
+}

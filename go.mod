@@ -1,0 +1,3 @@
+module ramr
+
+go 1.24

@@ -1,0 +1,103 @@
+// Package affinity pins OS threads to logical CPUs. It is the thin system
+// layer under RAMR's contention-aware pinning policy (§III-B of the paper):
+// the policy decides *which* logical CPU a worker should occupy, this
+// package makes it so with sched_setaffinity(2) on Linux and degrades to a
+// documented no-op elsewhere.
+//
+// Workers that want a stable pin must call runtime.LockOSThread first so
+// the goroutine-to-thread binding cannot change underneath the CPU mask;
+// PinSelf does both.
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// cpuSetWords is the size of the kernel cpu_set_t we pass: 16 words cover
+// 1024 logical CPUs, far beyond both evaluation platforms.
+const cpuSetWords = 16
+
+// CPUSet is a bitmask of logical CPUs, bit i of word i/64 = cpu i.
+type CPUSet [cpuSetWords]uint64
+
+// NewCPUSet returns a set containing the given logical CPUs.
+func NewCPUSet(cpus ...int) (CPUSet, error) {
+	var s CPUSet
+	for _, c := range cpus {
+		if err := s.Add(c); err != nil {
+			return CPUSet{}, err
+		}
+	}
+	return s, nil
+}
+
+// Add inserts cpu into the set.
+func (s *CPUSet) Add(cpu int) error {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return fmt.Errorf("affinity: cpu %d out of range [0,%d)", cpu, cpuSetWords*64)
+	}
+	s[cpu/64] |= 1 << (uint(cpu) % 64)
+	return nil
+}
+
+// Contains reports whether cpu is in the set.
+func (s *CPUSet) Contains(cpu int) bool {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return false
+	}
+	return s[cpu/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s *CPUSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// CPUs returns the member CPUs in ascending order.
+func (s *CPUSet) CPUs() []int {
+	var out []int
+	for i := 0; i < cpuSetWords*64; i++ {
+		if s.Contains(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the set has no members.
+func (s *CPUSet) Empty() bool { return s.Count() == 0 }
+
+// PinSelf locks the calling goroutine to its OS thread and restricts that
+// thread to the given logical CPU. It returns an unpin function that
+// restores the previous affinity mask and unlocks the thread; callers
+// should defer it. On platforms without affinity support, or when the
+// kernel rejects the mask (e.g. the CPU is offline or outside the cgroup
+// cpuset), PinSelf still locks the thread and returns ok=false with a nil
+// error — pinning is an optimization, not a correctness requirement.
+func PinSelf(cpu int) (unpin func(), ok bool) {
+	runtime.LockOSThread()
+	prev, errGet := getAffinity()
+	set, err := NewCPUSet(cpu)
+	if err != nil {
+		return runtime.UnlockOSThread, false
+	}
+	if err := setAffinity(set); err != nil {
+		return runtime.UnlockOSThread, false
+	}
+	return func() {
+		if errGet == nil {
+			_ = setAffinity(prev)
+		}
+		runtime.UnlockOSThread()
+	}, true
+}
+
+// Supported reports whether this platform can actually pin threads.
+func Supported() bool { return supported() }

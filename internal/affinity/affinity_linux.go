@@ -1,0 +1,31 @@
+//go:build linux
+
+package affinity
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+func supported() bool { return true }
+
+// setAffinity applies mask to the calling thread (pid 0).
+func setAffinity(mask CPUSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// getAffinity reads the calling thread's current mask.
+func getAffinity() (CPUSet, error) {
+	var mask CPUSet
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return CPUSet{}, errno
+	}
+	return mask, nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package affinity
+
+import "errors"
+
+var errUnsupported = errors.New("affinity: thread pinning unsupported on this platform")
+
+func supported() bool { return false }
+
+func setAffinity(CPUSet) error { return errUnsupported }
+
+func getAffinity() (CPUSet, error) { return CPUSet{}, errUnsupported }

@@ -1,0 +1,134 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUSetBasics(t *testing.T) {
+	s, err := NewCPUSet(0, 3, 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cpu := range []int{0, 3, 64, 1000} {
+		if !s.Contains(cpu) {
+			t.Fatalf("set should contain %d", cpu)
+		}
+	}
+	for _, cpu := range []int{1, 2, 63, 65, 999, 1001} {
+		if s.Contains(cpu) {
+			t.Fatalf("set should not contain %d", cpu)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	want := []int{0, 3, 64, 1000}
+	got := s.CPUs()
+	if len(got) != len(want) {
+		t.Fatalf("CPUs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CPUs()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCPUSetBounds(t *testing.T) {
+	if _, err := NewCPUSet(-1); err == nil {
+		t.Fatal("negative cpu accepted")
+	}
+	if _, err := NewCPUSet(cpuSetWords * 64); err == nil {
+		t.Fatal("out-of-range cpu accepted")
+	}
+	var s CPUSet
+	if s.Contains(-1) || s.Contains(1<<20) {
+		t.Fatal("Contains out of range should be false")
+	}
+	if !s.Empty() {
+		t.Fatal("zero set should be empty")
+	}
+}
+
+// TestQuickCPUSetAddContains: whatever is added is contained; count
+// matches the distinct additions.
+func TestQuickCPUSetAddContains(t *testing.T) {
+	f := func(cpus []uint16) bool {
+		var s CPUSet
+		distinct := map[int]bool{}
+		for _, c := range cpus {
+			cpu := int(c) % (cpuSetWords * 64)
+			if err := s.Add(cpu); err != nil {
+				return false
+			}
+			distinct[cpu] = true
+		}
+		if s.Count() != len(distinct) {
+			return false
+		}
+		for cpu := range distinct {
+			if !s.Contains(cpu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinSelf(t *testing.T) {
+	unpin, ok := PinSelf(0)
+	defer unpin()
+	if Supported() && runtime.GOOS == "linux" {
+		if !ok {
+			t.Skip("pinning rejected (restricted cpuset); skipping")
+		}
+		// Verify the mask really is cpu 0 only.
+		mask, err := getAffinity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mask.Contains(0) || mask.Count() != 1 {
+			t.Fatalf("affinity mask after PinSelf(0): %v", mask.CPUs())
+		}
+	} else if ok {
+		t.Fatal("PinSelf reported success on unsupported platform")
+	}
+}
+
+func TestPinSelfRestores(t *testing.T) {
+	if !Supported() {
+		t.Skip("no affinity support")
+	}
+	before, err := getAffinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpin, ok := PinSelf(0)
+	if !ok {
+		unpin()
+		t.Skip("pinning rejected")
+	}
+	unpin()
+	after, err := getAffinity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count() != after.Count() {
+		t.Fatalf("affinity not restored: before %v, after %v", before.CPUs(), after.CPUs())
+	}
+}
+
+func TestPinSelfBadCPU(t *testing.T) {
+	// A cpu beyond the machine (but within mask range) must not succeed
+	// in restricting to nothing; ok=false and the unpin must be safe.
+	unpin, ok := PinSelf(cpuSetWords*64 - 1)
+	unpin()
+	if ok && runtime.NumCPU() < cpuSetWords*64-1 {
+		t.Fatal("pinning to a nonexistent cpu reported success")
+	}
+}

@@ -1,0 +1,275 @@
+// Package cachesim is a trace-driven, multi-level, set-associative cache
+// simulator with LRU replacement and a simple stream prefetcher. It is the
+// substrate under the performance-counter model (internal/perfmodel): the
+// paper reads IPB/MSPI/RSPI from hardware PMCs, which are unavailable
+// here, so an architectural model supplies the same counters from the
+// applications' access streams (see DESIGN.md, substitution table).
+package cachesim
+
+import (
+	"fmt"
+
+	"ramr/internal/topology"
+)
+
+// LevelStats counts events at one cache level.
+type LevelStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Prefetched uint64 // hits served early by the stream prefetcher
+}
+
+// level is one set-associative cache.
+type level struct {
+	sets     int
+	ways     int
+	lineBits uint
+	latency  int
+	tags     [][]uint64 // [set][way] line address; 0 means empty
+	lru      [][]uint64 // [set][way] last-use tick
+	stats    LevelStats
+}
+
+func newLevel(c topology.CacheLevel) *level {
+	lines := c.SizeBytes / c.LineBytes
+	ways := c.Assoc
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	lb := uint(0)
+	for 1<<lb < c.LineBytes {
+		lb++
+	}
+	l := &level{sets: sets, ways: ways, lineBits: lb, latency: c.LatencyCycles}
+	l.tags = make([][]uint64, sets)
+	l.lru = make([][]uint64, sets)
+	for s := range l.tags {
+		l.tags[s] = make([]uint64, ways)
+		l.lru[s] = make([]uint64, ways)
+	}
+	return l
+}
+
+// lookup probes the level; on hit it refreshes LRU state.
+func (l *level) lookup(line, tick uint64) bool {
+	set := line % uint64(l.sets)
+	for w, t := range l.tags[set] {
+		if t == line+1 { // +1 so a zero tag means empty
+			l.lru[set][w] = tick
+			l.stats.Hits++
+			return true
+		}
+	}
+	l.stats.Misses++
+	return false
+}
+
+// install fills the line, evicting the LRU way.
+func (l *level) install(line, tick uint64) {
+	set := line % uint64(l.sets)
+	victim, oldest := 0, ^uint64(0)
+	for w, t := range l.tags[set] {
+		if t == 0 {
+			victim = w
+			oldest = 0
+			break
+		}
+		if l.lru[set][w] < oldest {
+			victim, oldest = w, l.lru[set][w]
+		}
+	}
+	if l.tags[set][victim] != 0 {
+		l.stats.Evictions++
+	}
+	l.tags[set][victim] = line + 1
+	l.lru[set][victim] = tick
+}
+
+// streamEntry is one detected sequential stream for the prefetcher.
+type streamEntry struct {
+	nextLine uint64
+	hits     int
+}
+
+// Hierarchy is one hardware thread's view of the cache hierarchy.
+type Hierarchy struct {
+	levels     []*level
+	memLatency int
+	tick       uint64
+	streams    [8]streamEntry
+	nextStream int
+}
+
+// New builds a hierarchy from a machine's cache levels. Shared levels are
+// modeled at full capacity; contention between threads is accounted for by
+// the higher layers (perfmodel divides effective capacity by the number of
+// resident threads where relevant).
+func New(m *topology.Machine) (*Hierarchy, error) {
+	if len(m.Caches) == 0 {
+		return nil, fmt.Errorf("cachesim: machine %s has no cache levels", m.Name)
+	}
+	h := &Hierarchy{memLatency: m.MemLatencyCycles}
+	for _, c := range m.Caches {
+		h.levels = append(h.levels, newLevel(c))
+	}
+	return h, nil
+}
+
+// NewScaled builds a hierarchy whose every level capacity is divided by
+// div — the per-thread effective share when div threads co-reside on the
+// cache. div < 1 is treated as 1.
+func NewScaled(m *topology.Machine, div int) (*Hierarchy, error) {
+	if div < 1 {
+		div = 1
+	}
+	scaled := *m
+	scaled.Caches = append([]topology.CacheLevel(nil), m.Caches...)
+	for i := range scaled.Caches {
+		scaled.Caches[i].SizeBytes = clampLevel(scaled.Caches[i], div)
+	}
+	return New(&scaled)
+}
+
+// NewPerThread builds one hardware thread's *fair-share* view of the
+// hierarchy under full machine occupancy: each level's capacity is divided
+// by the number of threads that share it (SMT siblings for per-core
+// levels, the whole socket for per-socket levels, every thread for global
+// levels). This is what makes the per-thread cache budget of a 228-thread
+// Xeon Phi so much smaller than a Haswell thread's — the effect behind the
+// paper's Fig. 7 batch-size findings.
+func NewPerThread(m *topology.Machine) (*Hierarchy, error) {
+	scaled := *m
+	scaled.Caches = append([]topology.CacheLevel(nil), m.Caches...)
+	for i := range scaled.Caches {
+		div := 1
+		switch scaled.Caches[i].Scope {
+		case topology.ScopePerCore:
+			div = m.ThreadsPerCore
+		case topology.ScopePerSocket:
+			div = m.ThreadsPerCore * m.CoresPerSocket
+		case topology.ScopeGlobal:
+			div = m.NumCPUs()
+		}
+		scaled.Caches[i].SizeBytes = clampLevel(scaled.Caches[i], div)
+	}
+	return New(&scaled)
+}
+
+// clampLevel divides a level's size by div without dropping below one
+// full set row.
+func clampLevel(c topology.CacheLevel, div int) int {
+	sz := c.SizeBytes / div
+	if min := c.LineBytes * c.Assoc; sz < min {
+		sz = min
+	}
+	return sz
+}
+
+// L1Latency returns the first-level hit latency.
+func (h *Hierarchy) L1Latency() int { return h.levels[0].latency }
+
+// MemLatency returns the DRAM latency.
+func (h *Hierarchy) MemLatency() int { return h.memLatency }
+
+// Access simulates one access to addr and returns its latency in cycles.
+// Sequential streams detected by the prefetcher are served at L1 latency
+// regardless of residency, modeling a hardware stride prefetcher hiding
+// streaming misses — without this, Histogram's sequential byte scan would
+// look memory-bound, which contradicts both common sense and the paper's
+// Fig. 10 (HG shows *few* stalls with the default container).
+func (h *Hierarchy) Access(addr uint64) int {
+	h.tick++
+	line := addr >> h.levels[0].lineBits
+
+	// Stream prefetcher: match against tracked streams.
+	for i := range h.streams {
+		s := &h.streams[i]
+		if s.hits > 0 && line >= s.nextLine && line <= s.nextLine+2 {
+			s.nextLine = line + 1
+			s.hits++
+			// Warm the caches as the prefetcher would.
+			for _, l := range h.levels {
+				if !l.lookup(line, h.tick) {
+					l.install(line, h.tick)
+				} else {
+					break
+				}
+			}
+			if s.hits > 2 {
+				h.levels[0].stats.Prefetched++
+				return h.levels[0].latency
+			}
+			break
+		}
+	}
+
+	lat := 0
+	for _, l := range h.levels {
+		lat = l.latency
+		if l.lookup(line, h.tick) {
+			h.fill(line)
+			h.noteStream(line)
+			return lat
+		}
+	}
+	h.fill(line)
+	h.noteStream(line)
+	return h.memLatency
+}
+
+// fill installs the line in every level that missed it (inclusive caches).
+func (h *Hierarchy) fill(line uint64) {
+	for _, l := range h.levels {
+		set := line % uint64(l.sets)
+		found := false
+		for _, t := range l.tags[set] {
+			if t == line+1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			l.install(line, h.tick)
+		}
+	}
+}
+
+// noteStream trains the prefetcher on the access.
+func (h *Hierarchy) noteStream(line uint64) {
+	for i := range h.streams {
+		s := &h.streams[i]
+		if s.hits > 0 && (line == s.nextLine || line+1 == s.nextLine) {
+			s.nextLine = line + 1
+			s.hits++
+			return
+		}
+	}
+	h.streams[h.nextStream] = streamEntry{nextLine: line + 1, hits: 1}
+	h.nextStream = (h.nextStream + 1) % len(h.streams)
+}
+
+// Stats returns per-level statistics, innermost first.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.stats
+	}
+	return out
+}
+
+// Reset clears contents and statistics.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		for s := range l.tags {
+			for w := range l.tags[s] {
+				l.tags[s][w] = 0
+				l.lru[s][w] = 0
+			}
+		}
+		l.stats = LevelStats{}
+	}
+	h.tick = 0
+	h.streams = [8]streamEntry{}
+}

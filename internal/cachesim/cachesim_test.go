@@ -1,0 +1,192 @@
+package cachesim
+
+import (
+	"testing"
+
+	"ramr/internal/topology"
+)
+
+// tiny builds a machine with a small, analyzable hierarchy: L1 = 4 sets x
+// 2 ways x 64B = 512B, L2 = 4KiB.
+func tiny() *topology.Machine {
+	return &topology.Machine{
+		Name: "tiny", Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 1,
+		Enum: topology.EnumCompact,
+		Caches: []topology.CacheLevel{
+			{Level: 1, SizeBytes: 512, LineBytes: 64, Assoc: 2, Scope: topology.ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 4096, LineBytes: 64, Assoc: 4, Scope: topology.ScopePerCore, LatencyCycles: 12},
+		},
+		MemLatencyCycles: 200,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, err := New(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := h.Access(0x10000); lat != 200 {
+		t.Fatalf("cold access latency = %d, want memory 200", lat)
+	}
+	if lat := h.Access(0x10000); lat != 4 {
+		t.Fatalf("second access latency = %d, want L1 4", lat)
+	}
+	st := h.Stats()
+	if st[0].Hits != 1 || st[0].Misses != 1 {
+		t.Fatalf("L1 stats: %+v", st[0])
+	}
+}
+
+func TestSameLineSharesResidency(t *testing.T) {
+	h, _ := New(tiny())
+	h.Access(0x20000)
+	if lat := h.Access(0x20001); lat != 4 {
+		t.Fatalf("same-line access missed: %d", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h, _ := New(tiny())
+	// Three lines mapping to the same L1 set (set count 4, so stride
+	// 4*64 = 256B). Use a large stride so the prefetcher sees no stream.
+	a, b, c := uint64(0x0), uint64(0x10100), uint64(0x20200)
+	// Align all three to set 0: line index multiples of 4.
+	a, b, c = 0, 4*64*100, 4*64*200
+	h.Access(a)
+	h.Access(b)
+	h.Access(c) // evicts a (LRU) from L1
+	if lat := h.Access(b); lat != 4 {
+		t.Fatalf("b should be L1 resident, got %d", lat)
+	}
+	if lat := h.Access(a); lat == 4 {
+		t.Fatal("a should have been evicted from L1")
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	h, _ := New(tiny())
+	a := uint64(0)
+	h.Access(a)
+	// Evict a from L1 set 0 (lines = multiples of 4 with L1's 4 sets)
+	// while leaving L2 set 0 untouched (skip multiples of 16, L2's set
+	// count): lines 4, 8, 12, 20, 24, 28 all land in L1 set 0 but L2
+	// sets 4/8/12.
+	for _, line := range []uint64{4, 8, 12, 20, 24, 28} {
+		h.Access(line * 64)
+	}
+	if lat := h.Access(a); lat != 12 {
+		t.Fatalf("a should hit L2 (12), got %d", lat)
+	}
+}
+
+func TestPrefetcherHidesStreams(t *testing.T) {
+	h, _ := New(tiny())
+	misses := 0
+	for i := 0; i < 4096; i++ {
+		if h.Access(uint64(0x100000+i)) > 4 {
+			misses++
+		}
+	}
+	// A sequential byte scan of 64 lines should cost at most a handful of
+	// demand misses before the stream is detected.
+	if misses > 6 {
+		t.Fatalf("stream scan took %d slow accesses", misses)
+	}
+	if h.Stats()[0].Prefetched == 0 {
+		t.Fatal("prefetcher never engaged")
+	}
+}
+
+func TestScatterDefeatsPrefetcher(t *testing.T) {
+	h, _ := New(tiny())
+	slow := 0
+	x := uint64(12345)
+	for i := 0; i < 512; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if h.Access(x%(1<<28)) > 12 {
+			slow++
+		}
+	}
+	if slow < 256 {
+		t.Fatalf("scattered accesses over 256MB should mostly miss, got %d slow", slow)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := New(tiny())
+	h.Access(0x30000)
+	h.Reset()
+	if lat := h.Access(0x30000); lat != 200 {
+		t.Fatalf("after Reset the access should be cold, got %d", lat)
+	}
+	if st := h.Stats(); st[0].Misses != 1 || st[0].Hits != 0 {
+		t.Fatalf("stats not reset: %+v", st[0])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := tiny()
+	m.Caches = nil
+	if _, err := New(m); err == nil {
+		t.Fatal("machine without caches accepted")
+	}
+}
+
+func TestNewScaledShrinks(t *testing.T) {
+	h1, _ := New(tiny())
+	h2, err := NewScaled(tiny(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 6 scattered lines: fits full L1 (8 lines), overflows the
+	// quarter-capacity L1 (2 lines min... clamped to assoc row = 2 lines).
+	probe := func(h *Hierarchy) int {
+		slow := 0
+		addrs := []uint64{0, 1 << 12, 2 << 12, 3 << 12, 4 << 12, 5 << 12}
+		for _, a := range addrs {
+			h.Access(a)
+		}
+		for _, a := range addrs {
+			if h.Access(a) > 4 {
+				slow++
+			}
+		}
+		return slow
+	}
+	if probe(h1) > probe(h2) {
+		t.Fatal("scaled-down hierarchy should miss at least as much")
+	}
+	if _, err := NewScaled(tiny(), 0); err != nil {
+		t.Fatal("div<1 should clamp, not fail")
+	}
+}
+
+func TestNewPerThreadScopeAware(t *testing.T) {
+	m := topology.XeonPhi()
+	h, err := NewPerThread(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L1Latency() != 3 {
+		t.Fatalf("L1 latency %d", h.L1Latency())
+	}
+	if h.MemLatency() != 300 {
+		t.Fatalf("mem latency %d", h.MemLatency())
+	}
+	// The global L2's fair share on a 228-thread Phi is ~128 KiB; a 1 MiB
+	// scattered working set must therefore miss heavily.
+	var x uint64 = 99
+	slow := 0
+	for pass := 0; pass < 2; pass++ {
+		x = 99
+		for i := 0; i < 2048; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			if h.Access(x%(1<<20)) > 24 {
+				slow++
+			}
+		}
+	}
+	if slow < 512 {
+		t.Fatalf("1MiB scatter should overflow the per-thread share, got %d slow", slow)
+	}
+}

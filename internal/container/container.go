@@ -1,0 +1,83 @@
+// Package container provides the intermediate key-value containers that sit
+// between the map and reduce phases, mirroring the container taxonomy of
+// Phoenix++ that the paper evaluates (§IV-D):
+//
+//   - FixedArray — a dense array indexed directly by key, the default for
+//     every benchmark app whose key range is known a priori (HG, LR, KM,
+//     PCA, MM).
+//   - FixedHash — an open-addressing hash table of fixed, pre-allocated
+//     capacity; the "fixed-size hash container" used to stress the memory
+//     subsystem in Figs. 8b/9b.
+//   - Hash — a regular dynamically-growing hash table (Go map), the
+//     default for Word Count and the "regular hash container" for MM/PCA
+//     in the memory-intensive configuration.
+//
+// A container accumulates one value per key under a user combine function
+// and is private to one worker (Phoenix++) or one combiner (RAMR); Merge
+// folds per-worker containers together before the reduce phase.
+package container
+
+import "fmt"
+
+// Kind enumerates the container implementations.
+type Kind int
+
+const (
+	// KindFixedArray is the dense array container.
+	KindFixedArray Kind = iota
+	// KindFixedHash is the fixed-capacity open-addressing hash container.
+	KindFixedHash
+	// KindHash is the regular dynamically-sized hash container.
+	KindHash
+)
+
+// String names the kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case KindFixedArray:
+		return "array"
+	case KindFixedHash:
+		return "fixed-hash"
+	case KindHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Combine folds a newly emitted value into an accumulator. It must be
+// associative; MapReduce gives no ordering guarantee across workers.
+type Combine[V any] func(acc, v V) V
+
+// Container accumulates combined values by key. Implementations are not
+// safe for concurrent use — the runtimes give each worker its own instance,
+// exactly as the paper prescribes ("a separate container is allocated to
+// each combiner").
+type Container[K comparable, V any] interface {
+	// Update folds v into the accumulator for k using combine.
+	Update(k K, v V, combine Combine[V])
+	// Get returns the accumulator for k.
+	Get(k K) (V, bool)
+	// Len returns the number of distinct keys present.
+	Len() int
+	// Iterate visits every (key, accumulator) pair until f returns
+	// false. Iteration order is implementation-defined.
+	Iterate(f func(K, V) bool)
+	// Reset empties the container, retaining its allocation.
+	Reset()
+	// Kind identifies the implementation.
+	Kind() Kind
+}
+
+// Merge folds every pair of src into dst using combine. It is the
+// inter-container reduction used when per-worker results are gathered.
+func Merge[K comparable, V any](dst, src Container[K, V], combine Combine[V]) {
+	src.Iterate(func(k K, v V) bool {
+		dst.Update(k, v, combine)
+		return true
+	})
+}
+
+// Factory builds fresh containers of one configured kind; the runtimes use
+// it to allocate per-worker instances without knowing the concrete type.
+type Factory[K comparable, V any] func() Container[K, V]

@@ -1,0 +1,280 @@
+package container
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+var sum = func(a, b int) int { return a + b }
+
+// eachKind builds one container of every implementation for int keys.
+func eachKind(t *testing.T, keyRange int) map[Kind]Container[int, int] {
+	t.Helper()
+	return map[Kind]Container[int, int]{
+		KindFixedArray: NewFixedArray[int](keyRange),
+		KindFixedHash:  NewFixedHash[int, int](keyRange, HashInt),
+		KindHash:       NewHash[int, int](),
+	}
+}
+
+func TestUpdateGetAcrossKinds(t *testing.T) {
+	for kind, c := range eachKind(t, 100) {
+		if c.Kind() != kind {
+			t.Fatalf("%v reports kind %v", kind, c.Kind())
+		}
+		if _, ok := c.Get(5); ok {
+			t.Fatalf("%v: Get on empty container succeeded", kind)
+		}
+		c.Update(5, 3, sum)
+		c.Update(5, 4, sum)
+		c.Update(7, 1, sum)
+		if v, ok := c.Get(5); !ok || v != 7 {
+			t.Fatalf("%v: Get(5) = (%d,%v), want 7", kind, v, ok)
+		}
+		if c.Len() != 2 {
+			t.Fatalf("%v: Len = %d, want 2", kind, c.Len())
+		}
+		c.Reset()
+		if c.Len() != 0 {
+			t.Fatalf("%v: Len after Reset = %d", kind, c.Len())
+		}
+		if _, ok := c.Get(5); ok {
+			t.Fatalf("%v: Get after Reset succeeded", kind)
+		}
+		// Reusable after reset.
+		c.Update(5, 9, sum)
+		if v, _ := c.Get(5); v != 9 {
+			t.Fatalf("%v: reuse after Reset broken", kind)
+		}
+	}
+}
+
+func TestIterateVisitsAll(t *testing.T) {
+	for kind, c := range eachKind(t, 64) {
+		want := map[int]int{}
+		for k := 0; k < 64; k += 3 {
+			c.Update(k, k*10, sum)
+			want[k] = k * 10
+		}
+		got := map[int]int{}
+		c.Iterate(func(k, v int) bool {
+			got[k] = v
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%v: iterated %d keys, want %d", kind, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%v: key %d = %d, want %d", kind, k, got[k], v)
+			}
+		}
+		// Early termination.
+		n := 0
+		c.Iterate(func(int, int) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Fatalf("%v: early-stop iterate visited %d", kind, n)
+		}
+	}
+}
+
+// TestQuickAgainstMapModel drives random update sequences through every
+// container and compares with a plain map.
+func TestQuickAgainstMapModel(t *testing.T) {
+	const keyRange = 50
+	f := func(keys []uint8, vals []int8) bool {
+		cs := map[Kind]Container[int, int]{
+			KindFixedArray: NewFixedArray[int](keyRange),
+			KindFixedHash:  NewFixedHash[int, int](keyRange, HashInt),
+			KindHash:       NewHash[int, int](),
+		}
+		model := map[int]int{}
+		for i, kb := range keys {
+			if i >= len(vals) {
+				break
+			}
+			k := int(kb) % keyRange
+			v := int(vals[i])
+			for _, c := range cs {
+				c.Update(k, v, sum)
+			}
+			if old, ok := model[k]; ok {
+				model[k] = old + v
+			} else {
+				model[k] = v
+			}
+		}
+		for _, c := range cs {
+			if c.Len() != len(model) {
+				return false
+			}
+			for k, v := range model {
+				got, ok := c.Get(k)
+				if !ok || got != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	for kind := range eachKind(t, 32) {
+		mk := func() Container[int, int] { return eachKind(t, 32)[kind] }
+		a, b := mk(), mk()
+		for k := 0; k < 32; k++ {
+			if k%2 == 0 {
+				a.Update(k, k, sum)
+			}
+			if k%3 == 0 {
+				b.Update(k, 100+k, sum)
+			}
+		}
+		Merge(a, b, sum)
+		for k := 0; k < 32; k++ {
+			want, present := 0, false
+			if k%2 == 0 {
+				want, present = k, true
+			}
+			if k%3 == 0 {
+				want, present = want+100+k, true
+			}
+			got, ok := a.Get(k)
+			if ok != present || got != want {
+				t.Fatalf("%v: merged key %d = (%d,%v), want (%d,%v)", kind, k, got, ok, want, present)
+			}
+		}
+	}
+}
+
+func TestFixedArrayOrderAndBounds(t *testing.T) {
+	a := NewFixedArray[int](10)
+	a.Update(9, 1, sum)
+	a.Update(0, 2, sum)
+	a.Update(4, 3, sum)
+	var keys []int
+	a.Iterate(func(k, _ int) bool { keys = append(keys, k); return true })
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("FixedArray iteration not ascending: %v", keys)
+	}
+	if a.Cap() != 10 {
+		t.Fatalf("Cap = %d", a.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range key should panic")
+		}
+	}()
+	a.Update(10, 1, sum)
+}
+
+func TestFixedArraySizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFixedArray(0) should panic")
+		}
+	}()
+	NewFixedArray[int](0)
+}
+
+func TestFixedHashOverflowPanics(t *testing.T) {
+	h := NewFixedHash[int, int](4, HashInt)
+	for k := 0; k < 4; k++ {
+		h.Update(k, 1, sum)
+	}
+	// Updating existing keys is fine at capacity.
+	h.Update(0, 5, sum)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding declared capacity should panic")
+		}
+	}()
+	h.Update(99, 1, sum)
+}
+
+func TestFixedHashStringKeys(t *testing.T) {
+	h := NewFixedHash[string, int](100, HashString)
+	words := []string{"map", "reduce", "combine", "map", "map"}
+	for _, w := range words {
+		h.Update(w, 1, sum)
+	}
+	if v, _ := h.Get("map"); v != 3 {
+		t.Fatalf("map = %d, want 3", v)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if h.Probes == 0 {
+		t.Fatal("probe counter did not advance")
+	}
+}
+
+func TestFixedHashValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero-capacity": func() { NewFixedHash[int, int](0, HashInt) },
+		"nil-hasher":    func() { NewFixedHash[int, int](4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHashersDisperse(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[HashInt(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("HashInt collisions on 1000 consecutive ints: %d distinct", len(seen))
+	}
+	if HashString("abc") == HashString("abd") {
+		t.Fatal("HashString collision on near strings")
+	}
+	if HashUint64(1) == HashUint64(2) {
+		t.Fatal("HashUint64 collision")
+	}
+	// Low-bit dispersion matters because tables mask, not mod.
+	low := map[uint64]int{}
+	for i := 0; i < 4096; i++ {
+		low[HashInt(i)&63]++
+	}
+	for b, n := range low {
+		if n > 4096/64*3 {
+			t.Fatalf("bucket %d badly overloaded: %d", b, n)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindFixedArray: "array",
+		KindFixedHash:  "fixed-hash",
+		KindHash:       "hash",
+	} {
+		if kind.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown Kind should render")
+	}
+}
+
+func TestNewHashSized(t *testing.T) {
+	h := NewHashSized[int, int](-1)
+	h.Update(1, 1, sum)
+	if v, _ := h.Get(1); v != 1 {
+		t.Fatal("NewHashSized(-1) unusable")
+	}
+}

@@ -1,0 +1,60 @@
+package container
+
+// Hash is the regular dynamically-growing hash container (a Go map),
+// corresponding to Phoenix++'s default Word Count container and to the
+// "regular hash table" used for MM and PCA in the memory-intensive
+// configuration. Growth reallocates and rehashes, adding the dynamic
+// allocation cost the paper calls out.
+type Hash[K comparable, V any] struct {
+	m map[K]V
+}
+
+// NewHash returns an empty regular hash container with a small initial
+// reservation.
+func NewHash[K comparable, V any]() *Hash[K, V] {
+	return &Hash[K, V]{m: make(map[K]V, 64)}
+}
+
+// NewHashSized returns an empty container pre-reserving room for n keys.
+func NewHashSized[K comparable, V any](n int) *Hash[K, V] {
+	if n < 0 {
+		n = 0
+	}
+	return &Hash[K, V]{m: make(map[K]V, n)}
+}
+
+// Update folds v into the accumulator for k.
+func (h *Hash[K, V]) Update(k K, v V, combine Combine[V]) {
+	if acc, ok := h.m[k]; ok {
+		h.m[k] = combine(acc, v)
+		return
+	}
+	h.m[k] = v
+}
+
+// Get returns the accumulator for k.
+func (h *Hash[K, V]) Get(k K) (V, bool) {
+	v, ok := h.m[k]
+	return v, ok
+}
+
+// Len returns the number of distinct keys stored.
+func (h *Hash[K, V]) Len() int { return len(h.m) }
+
+// Iterate visits pairs in Go map order (randomized).
+func (h *Hash[K, V]) Iterate(f func(K, V) bool) {
+	for k, v := range h.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// Reset empties the container. The map is cleared in place so the buckets
+// stay allocated.
+func (h *Hash[K, V]) Reset() { clear(h.m) }
+
+// Kind reports KindHash.
+func (h *Hash[K, V]) Kind() Kind { return KindHash }
+
+var _ Container[string, int] = (*Hash[string, int])(nil)

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunContextCancellation(t *testing.T) {
+	// A slow job: many tasks, each burning a little time.
+	spec := countSpec(400, 50, 7)
+	slowMap := spec.Map
+	spec.Map = func(s int, emit func(int, int)) {
+		time.Sleep(200 * time.Microsecond)
+		slowMap(s, emit)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunContext(ctx, spec, testConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Full run would take >= 400 tasks * 200us / 3 mappers ~ 27ms+;
+	// cancellation must cut that well short (generous bound for CI).
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	spec := countSpec(200, 100, 5)
+	slowMap := spec.Map
+	spec.Map = func(s int, emit func(int, int)) {
+		time.Sleep(100 * time.Microsecond)
+		slowMap(s, emit)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, spec, testConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRunContextBackground(t *testing.T) {
+	res, err := RunContext(context.Background(), countSpec(20, 20, 5), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 5 {
+		t.Fatalf("%d keys", len(res.Pairs))
+	}
+}

@@ -1,0 +1,320 @@
+// Package core implements RAMR, the paper's contribution: a resource-aware
+// MapReduce runtime that decouples the map and combine phases onto two
+// separate thread pools and overlaps their execution in a pipeline
+// (§III, Fig. 2).
+//
+// Mappers dequeue tasks from per-locality-group task queues and emit
+// intermediate key-value pairs into a private fixed-size SPSC ring buffer
+// instead of combining in place. Combiners run concurrently, pop *batches*
+// of pairs from their assigned set of mapper queues, apply the combine
+// function and accumulate into a private container. When the map phase
+// ends, combiners drain any remainder and exit; reduce and merge then
+// proceed exactly as in the Phoenix++ baseline.
+//
+// The decoupling raises the parallelism degree and lets a memory-intensive
+// combine overlap a compute-intensive map; the contention-aware pinning
+// plan (pinning.go) keeps each combiner on a logical CPU adjacent to its
+// mappers so the queue traffic stays in the closest shared cache.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ramr/internal/affinity"
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/spsc"
+	"ramr/internal/trace"
+)
+
+// pair is one intermediate key-value element flowing through the queues.
+type pair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// combinerIdle is how long a combiner sleeps when one full polling round
+// over its assigned queues consumed nothing; long enough to free the SMT
+// sibling for its mapper, short enough not to add visible latency.
+const combinerIdle = 20 * time.Microsecond
+
+// Run executes the job with the RAMR strategy under cfg. The thread
+// budget is cfg.Mappers map workers plus cfg.NumCombiners() combine
+// workers; reduce and merge reuse the general-purpose (mapper) pool as in
+// Fig. 2.
+func Run[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	return RunContext(context.Background(), spec, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, mappers stop
+// taking tasks after their current one, the pipeline drains, and the
+// context's error is returned. Cancellation latency is bounded by one map
+// task plus the drain, never a hung queue.
+func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mappers := cfg.Mappers
+	combiners := cfg.NumCombiners()
+	machine := cfg.ResolveMachine()
+
+	res := &mr.Result[K, R]{}
+
+	// --- Init: pools, queues, containers, pinning plan (Fig. 2 top). ---
+	t0 := time.Now()
+	queues := make([]*spsc.Queue[pair[K, V]], mappers)
+	for i := range queues {
+		q, err := spsc.New[pair[K, V]](cfg.QueueCapacity, cfg.Wait)
+		if err != nil {
+			return nil, err
+		}
+		queues[i] = q
+	}
+	containers := make([]container.Container[K, V], combiners)
+	for j := range containers {
+		containers[j] = spec.NewContainer()
+	}
+	// A batch larger than the ring could never fill while a producer is
+	// blocked on a full queue, deadlocking the pipeline; clamp it.
+	batch := cfg.BatchSize
+	if c := queues[0].Cap(); batch > c {
+		batch = c
+	}
+	plan := BuildPlan(machine, mappers, combiners, cfg.Pin)
+	assign := QueueAssignment(mappers, combiners)
+	res.Phases.Init = time.Since(t0)
+
+	// --- Partition: tasks into per-locality-group queues. ---
+	t0 = time.Now()
+	tasks := mr.Tasks(len(spec.Splits), cfg.TaskSize)
+	groups := machine.LocalityGroups()
+	tq := newTaskQueues(tasks, len(groups))
+	// A mapper draws from the group containing its pinned CPU; unpinned
+	// mappers spread round-robin.
+	mapperGroup := make([]int, mappers)
+	for i := range mapperGroup {
+		mapperGroup[i] = i % len(groups)
+		if cpu := plan.MapperCPU[i]; cpu >= 0 {
+			if c, err := machine.CPUByID(cpu); err == nil {
+				mapperGroup[i] = c.Socket
+			}
+		}
+	}
+	res.Phases.Partition = time.Since(t0)
+
+	// --- Map-combine: the decoupled, overlapped phase (Fig. 2). ---
+	// User code (Map, Combine) may panic; workers convert the first
+	// panic into an error and shut the pipeline down cleanly: a failed
+	// mapper still closes its queue, a failed combiner keeps draining
+	// its queues (discarding) so blocked producers can finish, and the
+	// abort flag stops further task dispatch.
+	t0 = time.Now()
+	var mapWG, combWG sync.WaitGroup
+	var firstErr mr.FirstError
+	var abort atomic.Bool
+
+	for i := 0; i < mappers; i++ {
+		mapWG.Add(1)
+		go func(i int) {
+			defer mapWG.Done()
+			q := queues[i]
+			// Runs last (LIFO): the combiner must always be notified.
+			defer q.Close()
+			defer func() {
+				if r := recover(); r != nil {
+					firstErr.Setf("ramr: map worker %d panicked: %v", i, r)
+					abort.Store(true)
+				}
+			}()
+			if cpu := plan.MapperCPU[i]; cpu >= 0 && affinity.Supported() {
+				unpin, _ := affinity.PinSelf(cpu)
+				defer unpin()
+			}
+			var shard *trace.Shard
+			if cfg.Trace != nil {
+				shard = cfg.Trace.Shard(fmt.Sprintf("mapper-%d", i))
+			}
+			emit := func(k K, v V) { q.Push(pair[K, V]{k, v}) }
+			for !abort.Load() && ctx.Err() == nil {
+				lo, hi, ok := tq.next(mapperGroup[i])
+				if !ok {
+					break
+				}
+				var end func()
+				if shard != nil {
+					end = shard.Span("task", map[string]any{"splits": hi - lo})
+				}
+				for s := lo; s < hi; s++ {
+					spec.Map(spec.Splits[s], emit)
+				}
+				if end != nil {
+					end()
+				}
+			}
+		}(i)
+	}
+
+	for j := 0; j < combiners; j++ {
+		combWG.Add(1)
+		go func(j int) {
+			defer combWG.Done()
+			mine := queues[assign[j][0]:assign[j][1]]
+			defer func() {
+				if r := recover(); r == nil {
+					return
+				} else {
+					firstErr.Setf("ramr: combine worker %d panicked: %v", j, r)
+					abort.Store(true)
+				}
+				// Keep draining (and discarding) so producers blocked
+				// on full rings can run to completion.
+				for {
+					done := true
+					for _, q := range mine {
+						if !q.Drained() {
+							done = false
+							q.ConsumeBatch(batch, true, func([]pair[K, V]) {})
+						}
+					}
+					if done {
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+			if cpu := plan.CombinerCPU[j]; cpu >= 0 && affinity.Supported() {
+				unpin, _ := affinity.PinSelf(cpu)
+				defer unpin()
+			}
+			var shard *trace.Shard
+			if cfg.Trace != nil {
+				shard = cfg.Trace.Shard(fmt.Sprintf("combiner-%d", j))
+			}
+			c := containers[j]
+			apply := func(batch []pair[K, V]) {
+				for _, p := range batch {
+					c.Update(p.k, p.v, spec.Combine)
+				}
+			}
+			idleRounds := 0
+			for {
+				var end func()
+				if shard != nil {
+					end = shard.Span("consume", nil)
+				}
+				consumed, alive := 0, false
+				for _, q := range mine {
+					if q.Drained() {
+						continue
+					}
+					alive = true
+					// While the producer is live, wait for full
+					// blocks; once it closed, force-drain the tail.
+					consumed += q.ConsumeBatch(batch, q.Closed(), apply)
+				}
+				if end != nil {
+					if consumed > 0 {
+						end()
+					}
+				}
+				if !alive {
+					return
+				}
+				if consumed == 0 {
+					idleRounds++
+					if idleRounds < 4 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(combinerIdle)
+					}
+				} else {
+					idleRounds = 0
+				}
+			}
+		}(j)
+	}
+
+	mapWG.Wait()
+	combWG.Wait()
+	res.Phases.MapCombine = time.Since(t0)
+	if err := firstErr.Get(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, q := range queues {
+		s := q.Snapshot()
+		res.QueueStats.Pushes += s.Pushes
+		res.QueueStats.FailedPush += s.FailedPush
+		res.QueueStats.Pops += s.Pops
+		res.QueueStats.EmptyPolls += s.EmptyPolls
+		res.QueueStats.BatchCalls += s.BatchCalls
+		res.QueueStats.SleepMicros += s.SleepMicros
+	}
+
+	// --- Reduce: identical to the baseline from here on. ---
+	t0 = time.Now()
+	merged, err := mr.MergeContainers(containers, spec.Combine)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := mr.ReduceAll(merged, spec.Reduce, mappers+combiners)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Reduce = time.Since(t0)
+
+	// --- Merge: parallel sort over the general-purpose pool. ---
+	t0 = time.Now()
+	mr.SortPairsParallel(pairs, spec.Less, mappers+combiners)
+	res.Phases.Merge = time.Since(t0)
+
+	res.Pairs = pairs
+	return res, nil
+}
+
+// taskQueues holds one FIFO of tasks per locality group, with lock-free
+// dequeue and cross-group stealing when the local queue empties.
+type taskQueues struct {
+	perGroup [][]int // task indices per group
+	cursor   []atomic.Int64
+	tasks    [][2]int
+}
+
+func newTaskQueues(tasks [][2]int, groups int) *taskQueues {
+	tq := &taskQueues{
+		perGroup: make([][]int, groups),
+		cursor:   make([]atomic.Int64, groups),
+		tasks:    tasks,
+	}
+	for t := range tasks {
+		g := t % groups
+		tq.perGroup[g] = append(tq.perGroup[g], t)
+	}
+	return tq
+}
+
+// next pops a task for a mapper in group g, stealing from the other groups
+// in order once the local queue is exhausted.
+func (tq *taskQueues) next(g int) (lo, hi int, ok bool) {
+	n := len(tq.perGroup)
+	for off := 0; off < n; off++ {
+		grp := (g + off) % n
+		i := int(tq.cursor[grp].Add(1)) - 1
+		if i < len(tq.perGroup[grp]) {
+			t := tq.perGroup[grp][i]
+			return tq.tasks[t][0], tq.tasks[t][1], true
+		}
+	}
+	return 0, 0, false
+}

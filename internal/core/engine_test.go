@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/spsc"
+	"ramr/internal/topology"
+)
+
+// countSpec builds a job whose splits each emit `emits` pairs over a key
+// range; the serial reference is trivially computable.
+func countSpec(splits, emits, keys int) *mr.Spec[int, int, int, int] {
+	in := make([]int, splits)
+	for i := range in {
+		in[i] = i
+	}
+	return &mr.Spec[int, int, int, int]{
+		Name:   "count",
+		Splits: in,
+		Map: func(s int, emit func(int, int)) {
+			for e := 0; e < emits; e++ {
+				emit((s*emits+e)%keys, 1)
+			}
+		},
+		Combine:      func(a, b int) int { return a + b },
+		Reduce:       mr.IdentityReduce[int, int](),
+		NewContainer: func() container.Container[int, int] { return container.NewFixedArray[int](keys) },
+		Less:         func(a, b int) bool { return a < b },
+	}
+}
+
+func testConfig() mr.Config {
+	cfg := mr.DefaultConfig()
+	cfg.Mappers = 3
+	cfg.Combiners = 2
+	cfg.QueueCapacity = 128
+	cfg.BatchSize = 16
+	cfg.Machine = topology.Flat(4)
+	cfg.Pin = mr.PinNone
+	return cfg
+}
+
+func TestRunCorrectness(t *testing.T) {
+	spec := countSpec(40, 25, 17)
+	res, err := Run(spec, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 17 {
+		t.Fatalf("%d keys, want 17", len(res.Pairs))
+	}
+	total := 0
+	for i, p := range res.Pairs {
+		if p.Key != i {
+			t.Fatalf("keys not sorted: %v", res.Pairs)
+		}
+		total += p.Value
+	}
+	if total != 40*25 {
+		t.Fatalf("total = %d, want %d", total, 40*25)
+	}
+	if res.QueueStats.Pushes != uint64(40*25) || res.QueueStats.Pushes != res.QueueStats.Pops {
+		t.Fatalf("queue stats: %+v", res.QueueStats)
+	}
+	if res.Phases.Total() <= 0 {
+		t.Fatal("phases not recorded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := countSpec(4, 4, 4)
+	bad := testConfig()
+	bad.Mappers = 0
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	broken := *spec
+	broken.Map = nil
+	if _, err := Run(&broken, testConfig()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestBatchLargerThanQueue is the deadlock regression: a consume batch
+// exceeding the ring capacity must be clamped, or a blocked producer and a
+// batch-starved consumer wait on each other forever.
+func TestBatchLargerThanQueue(t *testing.T) {
+	spec := countSpec(20, 200, 7)
+	cfg := testConfig()
+	cfg.QueueCapacity = 32
+	cfg.BatchSize = 100_000
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	if total != 20*200 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	spec := countSpec(0, 5, 5)
+	res, err := Run(spec, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Fatalf("expected empty output, got %d pairs", len(res.Pairs))
+	}
+}
+
+func TestSingleMapperSingleCombiner(t *testing.T) {
+	spec := countSpec(10, 10, 3)
+	cfg := testConfig()
+	cfg.Mappers = 1
+	cfg.Combiners = 1
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 3 {
+		t.Fatalf("%d keys", len(res.Pairs))
+	}
+}
+
+func TestMoreCombinersThanMappersClamped(t *testing.T) {
+	spec := countSpec(10, 10, 3)
+	cfg := testConfig()
+	cfg.Mappers = 2
+	cfg.Combiners = 8 // NumCombiners clamps to Mappers
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestAllPinPoliciesProduceSameResult(t *testing.T) {
+	spec := countSpec(30, 40, 11)
+	var want []mr.Pair[int, int]
+	for _, pin := range []mr.PinPolicy{mr.PinRAMR, mr.PinRoundRobin, mr.PinNone} {
+		cfg := testConfig()
+		cfg.Pin = pin
+		cfg.Machine = topology.HaswellServer() // plans target cpus the host lacks: must degrade gracefully
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pin, err)
+		}
+		if want == nil {
+			want = res.Pairs
+			continue
+		}
+		if len(res.Pairs) != len(want) {
+			t.Fatalf("%v: output size differs", pin)
+		}
+		for i := range want {
+			if res.Pairs[i] != want[i] {
+				t.Fatalf("%v: pair %d differs", pin, i)
+			}
+		}
+	}
+}
+
+func TestWaitPolicies(t *testing.T) {
+	for _, wait := range []spsc.WaitPolicy{spsc.WaitSleep, spsc.WaitBusy} {
+		spec := countSpec(10, 100, 5)
+		cfg := testConfig()
+		cfg.Wait = wait
+		cfg.QueueCapacity = 16 // force blocked pushes
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", wait, err)
+		}
+		total := 0
+		for _, p := range res.Pairs {
+			total += p.Value
+		}
+		if total != 1000 {
+			t.Fatalf("%v: total = %d", wait, total)
+		}
+	}
+}
+
+func TestRatioDerivedCombiners(t *testing.T) {
+	spec := countSpec(12, 10, 5)
+	cfg := testConfig()
+	cfg.Combiners = 0
+	cfg.Ratio = 3
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 5 {
+		t.Fatalf("%d keys", len(res.Pairs))
+	}
+}
+
+func TestTaskQueuesStealAcrossGroups(t *testing.T) {
+	tasks := mr.Tasks(10, 1)
+	tq := newTaskQueues(tasks, 3)
+	seen := map[int]bool{}
+	// A single "mapper" in group 2 must still drain every task.
+	for {
+		lo, _, ok := tq.next(2)
+		if !ok {
+			break
+		}
+		if seen[lo] {
+			t.Fatalf("task %d dispensed twice", lo)
+		}
+		seen[lo] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("drained %d tasks, want 10", len(seen))
+	}
+}
+
+func TestTaskQueuesConcurrentExactlyOnce(t *testing.T) {
+	tasks := mr.Tasks(500, 1)
+	tq := newTaskQueues(tasks, 4)
+	var claimed [500]atomic.Int32
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for {
+				lo, _, ok := tq.next(g % 4)
+				if !ok {
+					return
+				}
+				claimed[lo].Add(1)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	for i := range claimed {
+		if n := claimed[i].Load(); n != 1 {
+			t.Fatalf("task %d claimed %d times", i, n)
+		}
+	}
+}
+
+// TestHeavyContention pushes many more elements than queue capacity
+// through a 1:1 pipeline to exercise wraparound, blocking and drain.
+func TestHeavyContention(t *testing.T) {
+	spec := countSpec(64, 500, 97)
+	cfg := testConfig()
+	cfg.Mappers = 4
+	cfg.Combiners = 4
+	cfg.QueueCapacity = 64
+	cfg.BatchSize = 32
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	if want := 64 * 500; total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestResultDeterministicAcrossRuns(t *testing.T) {
+	spec := countSpec(25, 30, 13)
+	cfg := testConfig()
+	var first string
+	for run := 0; run < 3; run++ {
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := fmt.Sprint(res.Pairs)
+		if first == "" {
+			first = s
+		} else if s != first {
+			t.Fatalf("run %d output differs", run)
+		}
+	}
+}

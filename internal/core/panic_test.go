@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/topology"
+)
+
+// panicSpec builds a job whose Map panics on one split.
+func panicSpec(splits int, panicAt int) *mr.Spec[int, int, int, int] {
+	in := make([]int, splits)
+	for i := range in {
+		in[i] = i
+	}
+	return &mr.Spec[int, int, int, int]{
+		Name:   "panic",
+		Splits: in,
+		Map: func(s int, emit func(int, int)) {
+			if s == panicAt {
+				panic("map exploded")
+			}
+			for e := 0; e < 100; e++ {
+				emit(e%7, 1)
+			}
+		},
+		Combine:      func(a, b int) int { return a + b },
+		Reduce:       mr.IdentityReduce[int, int](),
+		NewContainer: func() container.Container[int, int] { return container.NewFixedArray[int](7) },
+	}
+}
+
+// runWithTimeout guards against the pre-recovery failure mode: a panicking
+// worker deadlocking the pipeline.
+func runWithTimeout(t *testing.T, f func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked")
+		return nil
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueCapacity = 16 // small ring: other mappers are likely blocked mid-push
+	err := runWithTimeout(t, func() error {
+		_, err := Run(panicSpec(200, 57), cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("map panic not reported")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCombinePanicBecomesError(t *testing.T) {
+	spec := panicSpec(200, -1) // map never panics
+	calls := 0
+	spec.Combine = func(a, b int) int {
+		calls++
+		if calls == 500 {
+			panic("combine exploded")
+		}
+		return a + b
+	}
+	cfg := testConfig()
+	cfg.Mappers = 2
+	cfg.Combiners = 1 // the single combiner owns all queues; its recovery must drain them
+	cfg.QueueCapacity = 16
+	err := runWithTimeout(t, func() error {
+		_, err := Run(spec, cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("combine panic not reported")
+	}
+}
+
+func TestReducePanicBecomesError(t *testing.T) {
+	spec := panicSpec(50, -1)
+	spec.Reduce = func(k, v int) int { panic("reduce exploded") }
+	err := runWithTimeout(t, func() error {
+		_, err := Run(spec, testConfig())
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "reduce") {
+		t.Fatalf("reduce panic not reported: %v", err)
+	}
+}
+
+func TestPanicWithPinnedWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pin = mr.PinRAMR
+	cfg.Machine = topology.HaswellServer()
+	err := runWithTimeout(t, func() error {
+		_, err := Run(panicSpec(100, 3), cfg)
+		return err
+	})
+	if err == nil {
+		t.Fatal("panic not reported under pinning")
+	}
+}

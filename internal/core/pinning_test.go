@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ramr/internal/mr"
+	"ramr/internal/topology"
+)
+
+func TestQueueAssignmentCoversAll(t *testing.T) {
+	for _, tc := range []struct{ m, c int }{
+		{8, 8}, {8, 4}, {8, 3}, {7, 2}, {1, 1}, {56, 5}, {3, 3},
+	} {
+		asg := QueueAssignment(tc.m, tc.c)
+		if len(asg) != tc.c {
+			t.Fatalf("m=%d c=%d: %d assignments", tc.m, tc.c, len(asg))
+		}
+		next := 0
+		for j, rng := range asg {
+			if rng[0] != next {
+				t.Fatalf("m=%d c=%d: gap before combiner %d", tc.m, tc.c, j)
+			}
+			next = rng[1]
+		}
+		if next != tc.m {
+			t.Fatalf("m=%d c=%d: coverage ends at %d", tc.m, tc.c, next)
+		}
+	}
+}
+
+// TestQuickQueueAssignmentBalance: assignment is a partition with sizes
+// differing by at most one.
+func TestQuickQueueAssignmentBalance(t *testing.T) {
+	f := func(m8, c8 uint8) bool {
+		m := int(m8%64) + 1
+		c := int(c8%16) + 1
+		if c > m {
+			c = m
+		}
+		asg := QueueAssignment(m, c)
+		minSz, maxSz := m, 0
+		next := 0
+		for _, rng := range asg {
+			if rng[0] != next {
+				return false
+			}
+			sz := rng[1] - rng[0]
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			next = rng[1]
+		}
+		return next == m && maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRAMRPlanAdjacency is the §III-B property: under the RAMR policy,
+// every combiner shares its physical core (or at worst its socket, when a
+// group outgrows one core) with its first assigned mapper.
+func TestRAMRPlanAdjacency(t *testing.T) {
+	for _, m := range []*topology.Machine{topology.HaswellServer(), topology.XeonPhi(), topology.Fig3Example()} {
+		half := m.NumCPUs() / 2
+		plan := BuildPlan(m, half, half, mr.PinRAMR)
+		for j, rng := range QueueAssignment(half, half) {
+			d := m.Distance(plan.CombinerCPU[j], plan.MapperCPU[rng[0]])
+			if d > 1 {
+				t.Fatalf("%s: combiner %d at distance %d from its mapper", m.Name, j, d)
+			}
+		}
+		if got := plan.MaxDistance(m); got > 1 {
+			t.Fatalf("%s: 1:1 plan max distance = %d", m.Name, got)
+		}
+	}
+}
+
+func TestRAMRPlanRatio3GroupsContiguous(t *testing.T) {
+	m := topology.HaswellServer()
+	// 42 mappers, 14 combiners (ratio 3): groups of 4 threads span at
+	// most two physical cores, so worst distance is within one socket.
+	plan := BuildPlan(m, 42, 14, mr.PinRAMR)
+	if d := plan.MaxDistance(m); d > 2 {
+		t.Fatalf("ratio-3 plan max distance = %d, want <= 2", d)
+	}
+}
+
+func TestRoundRobinScattersPairs(t *testing.T) {
+	m := topology.HaswellServer()
+	half := 28
+	plan := BuildPlan(m, half, half, mr.PinRoundRobin)
+	// The role-oblivious numeric placement must put at least one
+	// combiner far (distance >= 2) from its mapper — that's the
+	// deficiency Fig. 5 measures.
+	far := 0
+	for j, rng := range QueueAssignment(half, half) {
+		if m.Distance(plan.CombinerCPU[j], plan.MapperCPU[rng[0]]) >= 2 {
+			far++
+		}
+	}
+	if far == 0 {
+		t.Fatal("round-robin placed every pair adjacently; it should not")
+	}
+}
+
+func TestPinNonePlan(t *testing.T) {
+	m := topology.HaswellServer()
+	plan := BuildPlan(m, 4, 2, mr.PinNone)
+	for _, cpu := range append(plan.MapperCPU, plan.CombinerCPU...) {
+		if cpu != -1 {
+			t.Fatalf("unpinned plan contains cpu %d", cpu)
+		}
+	}
+	if plan.MaxDistance(m) != -1 {
+		t.Fatal("unpinned plan should report unknown distance")
+	}
+}
+
+func TestPlanWrapsWhenOversubscribed(t *testing.T) {
+	m := topology.Fig3Example() // 16 logical cpus
+	plan := BuildPlan(m, 20, 20, mr.PinRAMR)
+	for _, cpu := range append(plan.MapperCPU, plan.CombinerCPU...) {
+		if cpu < 0 || cpu >= 16 {
+			t.Fatalf("cpu %d out of range", cpu)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	m := topology.Fig3Example()
+	plan := BuildPlan(m, 4, 2, mr.PinRAMR)
+	if plan.String() == "" {
+		t.Fatal("empty plan string")
+	}
+}

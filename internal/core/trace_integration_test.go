@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ramr/internal/trace"
+)
+
+// TestEngineTracing runs a traced job and validates the recorded timeline:
+// mapper task spans and combiner consume spans overlap in time — the
+// paper's Fig. 2 pipeline made observable.
+func TestEngineTracing(t *testing.T) {
+	spec := countSpec(64, 100, 13)
+	cfg := testConfig()
+	collector := trace.New()
+	cfg.Trace = collector
+	if _, err := Run(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := collector.Events()
+	var tasks, consumes int
+	var mapperSeen, combinerSeen bool
+	for _, e := range events {
+		switch e.Name {
+		case "task":
+			tasks++
+			mapperSeen = true
+		case "consume":
+			consumes++
+			combinerSeen = true
+		}
+	}
+	if !mapperSeen || !combinerSeen {
+		t.Fatalf("missing lanes: tasks=%d consumes=%d", tasks, consumes)
+	}
+	// The decoupled pipeline must actually overlap: at least one consume
+	// span starts before the last task span ends.
+	var lastTaskEnd, firstConsume int64
+	firstConsume = 1 << 62
+	for _, e := range events {
+		switch e.Name {
+		case "task":
+			if end := int64(e.Start + e.Dur); end > lastTaskEnd {
+				lastTaskEnd = end
+			}
+		case "consume":
+			if s := int64(e.Start); s < firstConsume {
+				firstConsume = s
+			}
+		}
+	}
+	if firstConsume >= lastTaskEnd {
+		t.Fatal("no map/combine overlap recorded — pipeline not pipelining")
+	}
+	// And the export is valid Chrome-trace JSON.
+	var buf bytes.Buffer
+	if err := collector.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) < tasks+consumes {
+		t.Fatalf("chrome trace lost events: %d < %d", len(parsed), tasks+consumes)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"ramr/internal/mr"
+)
+
+// maxTunedRatio bounds TuneRatio's recommendation; beyond this the
+// combiner pool degenerates to a single worker on any realistic machine.
+const maxTunedRatio = 32
+
+// tuneSampleTarget is roughly how many intermediate pairs the calibration
+// tries to observe; enough to amortize timer resolution, small enough to
+// stay a negligible fraction of a real job.
+const tuneSampleTarget = 50_000
+
+// TuneRatio estimates the mapper-to-combiner ratio for a job by measuring
+// the throughput of its map and combine functions on a sample of the
+// input, implementing §III-B: "this ratio is application dependent and is
+// driven by the throughput (in processed elements/second) of the map and
+// combine functions. For instance, a workload with equivalent map and
+// combine processing rate requires equal number of mapper and combiner
+// threads to operate steadily."
+//
+// The calibration maps sample splits into a buffer (timing the map
+// function), then folds the buffered pairs into a fresh container (timing
+// the combine path), and returns round(mapTime/combineTime) clamped to
+// [1, 32]. A compute-heavy map with a trivial combine yields a high ratio
+// (one combiner serves many mappers); comparable phase costs yield 1.
+//
+// The sample runs single-threaded, so the measured ratio reflects
+// per-element costs, not contention; it is a starting point, exactly like
+// the paper's tuning, not a guarantee of optimality.
+func TuneRatio[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.Config) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if len(spec.Splits) == 0 {
+		return 1, nil
+	}
+
+	type kv struct {
+		k K
+		v V
+	}
+	buf := make([]kv, 0, 4096)
+
+	// Map phase sample: process splits until enough pairs accumulate.
+	mapStart := time.Now()
+	splits := 0
+	for _, s := range spec.Splits {
+		spec.Map(s, func(k K, v V) { buf = append(buf, kv{k, v}) })
+		splits++
+		if len(buf) >= tuneSampleTarget {
+			break
+		}
+	}
+	mapTime := time.Since(mapStart)
+	if len(buf) == 0 {
+		return 1, nil
+	}
+
+	// Combine phase sample: fold the same pairs into a fresh container,
+	// the exact work a combiner performs per batch.
+	c := spec.NewContainer()
+	combStart := time.Now()
+	for _, p := range buf {
+		c.Update(p.k, p.v, spec.Combine)
+	}
+	combTime := time.Since(combStart)
+
+	if combTime <= 0 {
+		return maxTunedRatio, nil
+	}
+	ratio := int(float64(mapTime)/float64(combTime) + 0.5)
+	if ratio < 1 {
+		ratio = 1
+	}
+	if ratio > maxTunedRatio {
+		ratio = maxTunedRatio
+	}
+	return ratio, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+)
+
+// burn consumes CPU proportional to n in a way the compiler keeps.
+func burn(n int) int {
+	s := 1
+	for i := 0; i < n; i++ {
+		s = s*31 + i
+	}
+	return s
+}
+
+func tuneSpec(mapWork, combineWork int) *mr.Spec[int, int, int, int] {
+	in := make([]int, 512)
+	for i := range in {
+		in[i] = i
+	}
+	return &mr.Spec[int, int, int, int]{
+		Name:   "tune",
+		Splits: in,
+		Map: func(s int, emit func(int, int)) {
+			for e := 0; e < 200; e++ {
+				emit(e%13, 1+burn(mapWork)&1)
+			}
+		},
+		Combine: func(a, b int) int {
+			return a + b + burn(combineWork)&1
+		},
+		Reduce:       mr.IdentityReduce[int, int](),
+		NewContainer: func() container.Container[int, int] { return container.NewFixedArray[int](13) },
+	}
+}
+
+func TestTuneRatioHeavyMap(t *testing.T) {
+	// Map does ~100x the per-element work of combine: the ratio must be
+	// clearly above 1.
+	r, err := TuneRatio(tuneSpec(2000, 5), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 4 {
+		t.Fatalf("heavy map should yield a high ratio, got %d", r)
+	}
+}
+
+func TestTuneRatioHeavyCombine(t *testing.T) {
+	// Combine dominates: equal pools (ratio 1).
+	r, err := TuneRatio(tuneSpec(1, 3000), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("heavy combine should yield ratio 1, got %d", r)
+	}
+}
+
+func TestTuneRatioBounds(t *testing.T) {
+	r, err := TuneRatio(tuneSpec(20_000, 0), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > maxTunedRatio {
+		t.Fatalf("ratio %d exceeds bound", r)
+	}
+}
+
+func TestTuneRatioEmptyInput(t *testing.T) {
+	s := tuneSpec(1, 1)
+	s.Splits = nil
+	r, err := TuneRatio(s, testConfig())
+	if err != nil || r != 1 {
+		t.Fatalf("empty input: got %d, %v", r, err)
+	}
+}
+
+func TestTuneRatioInvalidSpec(t *testing.T) {
+	s := tuneSpec(1, 1)
+	s.Map = nil
+	if _, err := TuneRatio(s, testConfig()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestTuneRatioEndToEnd: feed the tuned ratio back into a real run.
+func TestTuneRatioEndToEnd(t *testing.T) {
+	spec := tuneSpec(500, 5)
+	cfg := testConfig()
+	r, err := TuneRatio(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Combiners = 0
+	cfg.Ratio = r
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 13 {
+		t.Fatalf("%d keys", len(res.Pairs))
+	}
+}

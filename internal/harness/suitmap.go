@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"ramr/internal/mr"
+	"ramr/internal/perfmodel"
+	"ramr/internal/simarch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "suitmap",
+		Title: "Suitability metrics vs measured speedup (§IV-E closing claim)",
+		Run:   runSuitMap,
+	})
+}
+
+// runSuitMap tests the paper's closing claim — "the suitability analysis
+// provided above is in good agreement with the reported, experimental
+// results" — quantitatively: for each app it derives a suitability score
+// from the Fig. 10 metrics (workload intensity gated by stall frequency,
+// exactly the §IV-E line of thought) and correlates the per-app ranking
+// with the Fig. 8a speedup ranking on the Haswell model.
+func runSuitMap(Options) (*Report, error) {
+	m := hwl.machine()
+	rep := &Report{
+		Columns: []string{"IPB", "MSPI+RSPI", "suitability", "speedup"},
+		Notes: []string{
+			"suitability = log(IPB) * (MSPI + RSPI): intensity only pays off when stalls leave room (§IV-E)",
+		},
+	}
+	var rows []suitRow
+	for _, app := range suite {
+		kind := containerFor(app, false)
+		mt, err := perfmodel.Suitability(m, app, kind)
+		if err != nil {
+			return nil, err
+		}
+		w, err := simarch.WorkloadFor(m, app, kind)
+		if err != nil {
+			return nil, err
+		}
+		ra, _, err := bestRAMRSim(m, w, hwl.threads, mr.PinRAMR, hwl.batch)
+		if err != nil {
+			return nil, err
+		}
+		half := hwl.threads / 2
+		ph, err := simarch.SimulatePhoenix(m, w, simarch.Config{Mappers: half, Combiners: hwl.threads - half})
+		if err != nil {
+			return nil, err
+		}
+		stalls := mt.MSPI + mt.RSPI
+		suit := logIPB(mt.IPB) * stalls
+		sp := ph.Cycles / ra.Cycles
+		rows = append(rows, suitRow{app, suit, sp})
+		rep.Rows = append(rep.Rows, Row{Label: app, Values: []float64{mt.IPB, stalls, suit, sp}})
+	}
+	rho := spearman(rows)
+	rep.Notes = append(rep.Notes, fmt.Sprintf("Spearman rank correlation (suitability vs speedup): %.2f", rho))
+	rep.Rows = append(rep.Rows, Row{Label: "rank-corr", Values: []float64{0, 0, 0, rho}})
+	return rep, nil
+}
+
+func logIPB(x float64) float64 {
+	// ln(1+x) keeps the intensity term positive and compresses MM's
+	// order-of-magnitude IPB lead over the rest.
+	v := 0.0
+	for t := 1 + x; t > 1.0001; t = t / 2.718281828459045 {
+		v++
+	}
+	return v
+}
+
+// suitRow pairs one app's suitability score with its measured speedup.
+type suitRow struct {
+	app         string
+	suitability float64
+	speedup     float64
+}
+
+// spearman computes the Spearman rank correlation between the suitability
+// and speedup columns.
+func spearman(rows []suitRow) float64 {
+	n := len(rows)
+	if n < 2 {
+		return 0
+	}
+	rank := func(key func(i int) float64) []float64 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return key(idx[a]) < key(idx[b]) })
+		r := make([]float64, n)
+		for pos, i := range idx {
+			r[i] = float64(pos)
+		}
+		return r
+	}
+	ra := rank(func(i int) float64 { return rows[i].suitability })
+	rb := rank(func(i int) float64 { return rows[i].speedup })
+	var d2 float64
+	for i := 0; i < n; i++ {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/float64(n*(n*n-1))
+}

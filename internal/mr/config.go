@@ -1,0 +1,225 @@
+package mr
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"ramr/internal/spsc"
+	"ramr/internal/topology"
+	"ramr/internal/trace"
+)
+
+// PinPolicy selects how worker threads are placed on logical CPUs,
+// matching the three policies compared in §IV-B.
+type PinPolicy int
+
+const (
+	// PinRAMR is the contention-aware policy: each combiner is pinned
+	// adjacent to its assigned mappers (same physical core / closest
+	// shared cache), using the topology's compact thread order.
+	PinRAMR PinPolicy = iota
+	// PinRoundRobin pins threads to cores round-robin across sockets
+	// without considering their role — the paper's "RR" baseline.
+	PinRoundRobin
+	// PinNone leaves placement to the OS scheduler (thread migrations
+	// allowed) — the paper's "Linux scheduler" baseline.
+	PinNone
+)
+
+// String names the policy as in the paper's figures.
+func (p PinPolicy) String() string {
+	switch p {
+	case PinRAMR:
+		return "ramr"
+	case PinRoundRobin:
+		return "round-robin"
+	case PinNone:
+		return "os-default"
+	default:
+		return fmt.Sprintf("PinPolicy(%d)", int(p))
+	}
+}
+
+// ParsePinPolicy maps a string (as accepted in RAMR_PIN) to a policy.
+func ParsePinPolicy(s string) (PinPolicy, error) {
+	switch s {
+	case "ramr":
+		return PinRAMR, nil
+	case "rr", "round-robin":
+		return PinRoundRobin, nil
+	case "none", "os", "os-default":
+		return PinNone, nil
+	default:
+		return 0, fmt.Errorf("mr: unknown pin policy %q (want ramr|rr|none)", s)
+	}
+}
+
+// Config carries every tuning knob of the runtimes. The zero value is not
+// runnable; start from DefaultConfig (or FromEnv) and override fields.
+type Config struct {
+	// Mappers is the number of map workers (also the reduce/merge
+	// worker count, as both pools reuse the general-purpose pool).
+	Mappers int
+	// Combiners is the number of combine workers (RAMR only). When 0,
+	// it is derived as Mappers/Ratio.
+	Combiners int
+	// Ratio is the mapper-to-combiner ratio used when Combiners is 0.
+	// §III-B: "according to the ratio of mapper-to-combiner threads, a
+	// set of mapper queues is assigned to each combiner".
+	Ratio int
+	// TaskSize is the number of input splits grouped into one map task.
+	TaskSize int
+	// QueueCapacity is the per-mapper SPSC ring capacity (§III-A tuned
+	// value: 5000).
+	QueueCapacity int
+	// BatchSize is the combiner's batched-consume block size (§IV-C).
+	BatchSize int
+	// Wait selects the producer's full-queue policy.
+	Wait spsc.WaitPolicy
+	// Pin selects the thread placement policy.
+	Pin PinPolicy
+	// Machine describes the topology used for pinning decisions. When
+	// nil, the host is detected at run time.
+	Machine *topology.Machine
+	// Trace, when non-nil, records per-worker execution timelines
+	// (task spans for mappers and fused workers, batch spans for
+	// combiners) for Chrome-trace export. Tracing costs one slice
+	// append per span on the hot path.
+	Trace *trace.Collector
+}
+
+// Default knob values; the paper's tuned settings where it states them.
+const (
+	DefaultRatio     = 1
+	DefaultTaskSize  = 4
+	DefaultBatchSize = 1000
+)
+
+// DefaultConfig returns a runnable configuration for the current host:
+// one mapper per physical core's worth of parallelism split between the
+// two pools, paper-tuned queue capacity and batch size, RAMR pinning.
+func DefaultConfig() Config {
+	n := runtime.GOMAXPROCS(0)
+	mappers := n / 2
+	if mappers < 1 {
+		mappers = 1
+	}
+	return Config{
+		Mappers:       mappers,
+		Ratio:         DefaultRatio,
+		TaskSize:      DefaultTaskSize,
+		QueueCapacity: spsc.DefaultCapacity,
+		BatchSize:     DefaultBatchSize,
+		Wait:          spsc.WaitSleep,
+		Pin:           PinRAMR,
+	}
+}
+
+// Environment variable names; §III: "the task size can be finely tuned via
+// a set of environmental variables" — we extend the same mechanism to
+// every knob.
+const (
+	EnvMappers   = "RAMR_MAPPERS"
+	EnvCombiners = "RAMR_COMBINERS"
+	EnvRatio     = "RAMR_RATIO"
+	EnvTaskSize  = "RAMR_TASK_SIZE"
+	EnvQueueCap  = "RAMR_QUEUE_CAP"
+	EnvBatchSize = "RAMR_BATCH_SIZE"
+	EnvPin       = "RAMR_PIN"
+	EnvWait      = "RAMR_WAIT"
+)
+
+// FromEnv returns DefaultConfig overridden by any RAMR_* environment
+// variables that are set. Malformed values are reported, not ignored.
+func FromEnv() (Config, error) {
+	c := DefaultConfig()
+	for _, it := range []struct {
+		env string
+		dst *int
+		min int
+	}{
+		{EnvMappers, &c.Mappers, 1},
+		{EnvCombiners, &c.Combiners, 1},
+		{EnvRatio, &c.Ratio, 1},
+		{EnvTaskSize, &c.TaskSize, 1},
+		{EnvQueueCap, &c.QueueCapacity, 1},
+		{EnvBatchSize, &c.BatchSize, 1},
+	} {
+		s, ok := os.LookupEnv(it.env)
+		if !ok {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < it.min {
+			return Config{}, fmt.Errorf("mr: %s=%q: want integer >= %d", it.env, s, it.min)
+		}
+		*it.dst = v
+	}
+	if s, ok := os.LookupEnv(EnvPin); ok {
+		p, err := ParsePinPolicy(s)
+		if err != nil {
+			return Config{}, err
+		}
+		c.Pin = p
+	}
+	if s, ok := os.LookupEnv(EnvWait); ok {
+		switch s {
+		case "sleep":
+			c.Wait = spsc.WaitSleep
+		case "busy", "busy-wait":
+			c.Wait = spsc.WaitBusy
+		default:
+			return Config{}, fmt.Errorf("mr: %s=%q: want sleep|busy", EnvWait, s)
+		}
+	}
+	return c, nil
+}
+
+// NumCombiners resolves the effective combiner count: the explicit value
+// when set, else ceil(Mappers/Ratio), never below 1 or above Mappers.
+func (c Config) NumCombiners() int {
+	if c.Combiners > 0 {
+		if c.Combiners > c.Mappers {
+			return c.Mappers
+		}
+		return c.Combiners
+	}
+	r := c.Ratio
+	if r < 1 {
+		r = 1
+	}
+	n := (c.Mappers + r - 1) / r
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Mappers < 1:
+		return fmt.Errorf("mr: Mappers must be >= 1, got %d", c.Mappers)
+	case c.Combiners < 0:
+		return fmt.Errorf("mr: Combiners must be >= 0, got %d", c.Combiners)
+	case c.Combiners == 0 && c.Ratio < 1:
+		return fmt.Errorf("mr: Ratio must be >= 1 when Combiners is derived, got %d", c.Ratio)
+	case c.TaskSize < 1:
+		return fmt.Errorf("mr: TaskSize must be >= 1, got %d", c.TaskSize)
+	case c.QueueCapacity < 1:
+		return fmt.Errorf("mr: QueueCapacity must be >= 1, got %d", c.QueueCapacity)
+	case c.BatchSize < 1:
+		return fmt.Errorf("mr: BatchSize must be >= 1, got %d", c.BatchSize)
+	}
+	return nil
+}
+
+// ResolveMachine returns the configured machine or detects the host.
+func (c Config) ResolveMachine() *topology.Machine {
+	if c.Machine != nil {
+		return c.Machine
+	}
+	return topology.Detect()
+}

@@ -1,0 +1,39 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FirstError records the first error reported by any concurrent worker;
+// later reports are dropped. Both engines use it to surface user-code
+// panics (in Map, Combine or Reduce) as ordinary errors instead of
+// deadlocking the pipeline or killing the process.
+type FirstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set records err if it is the first non-nil report.
+func (f *FirstError) Set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Setf formats and records an error.
+func (f *FirstError) Setf(format string, args ...any) {
+	f.Set(fmt.Errorf(format, args...))
+}
+
+// Get returns the recorded error, if any.
+func (f *FirstError) Get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

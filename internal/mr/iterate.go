@@ -1,0 +1,53 @@
+package mr
+
+import "fmt"
+
+// IterInfo summarizes a completed Iterate loop.
+type IterInfo struct {
+	// Iterations is how many runs executed.
+	Iterations int
+	// Converged reports whether the loop stopped because done returned
+	// true (as opposed to exhausting maxIter).
+	Converged bool
+	// Phases accumulates phase times across all iterations.
+	Phases PhaseTimes
+}
+
+// Iterate drives an iterative MapReduce algorithm (KMeans, PageRank-style
+// computations): it calls run for each iteration, hands the result to
+// done — which updates the algorithm's state (e.g. centroids) and decides
+// convergence — and stops after convergence or maxIter iterations. Phase
+// times accumulate across iterations so the paper-style breakdown remains
+// available for the whole computation.
+func Iterate[K comparable, R any](
+	maxIter int,
+	run func(iter int) (*Result[K, R], error),
+	done func(iter int, res *Result[K, R]) bool,
+) (*Result[K, R], IterInfo, error) {
+	if maxIter < 1 {
+		return nil, IterInfo{}, fmt.Errorf("mr: Iterate needs maxIter >= 1, got %d", maxIter)
+	}
+	if run == nil || done == nil {
+		return nil, IterInfo{}, fmt.Errorf("mr: Iterate needs run and done callbacks")
+	}
+	var info IterInfo
+	var last *Result[K, R]
+	for iter := 0; iter < maxIter; iter++ {
+		res, err := run(iter)
+		if err != nil {
+			return nil, info, fmt.Errorf("mr: iteration %d: %w", iter, err)
+		}
+		info.Iterations++
+		info.Phases.Init += res.Phases.Init
+		info.Phases.Partition += res.Phases.Partition
+		info.Phases.MapCombine += res.Phases.MapCombine
+		info.Phases.Reduce += res.Phases.Reduce
+		info.Phases.Merge += res.Phases.Merge
+		last = res
+		if done(iter, res) {
+			info.Converged = true
+			break
+		}
+	}
+	return last, info, nil
+}

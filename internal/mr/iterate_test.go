@@ -1,0 +1,71 @@
+package mr
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fakeResult(ms int) *Result[int, int] {
+	return &Result[int, int]{Phases: PhaseTimes{MapCombine: time.Duration(ms) * time.Millisecond}}
+}
+
+func TestIterateConverges(t *testing.T) {
+	res, info, err := Iterate(10,
+		func(iter int) (*Result[int, int], error) { return fakeResult(iter + 1), nil },
+		func(iter int, _ *Result[int, int]) bool { return iter == 3 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Converged || info.Iterations != 4 {
+		t.Fatalf("%+v", info)
+	}
+	if res.Phases.MapCombine != 4*time.Millisecond {
+		t.Fatalf("last result wrong: %v", res.Phases.MapCombine)
+	}
+	if info.Phases.MapCombine != (1+2+3+4)*time.Millisecond {
+		t.Fatalf("phases not accumulated: %v", info.Phases.MapCombine)
+	}
+}
+
+func TestIterateExhaustsMaxIter(t *testing.T) {
+	_, info, err := Iterate(3,
+		func(int) (*Result[int, int], error) { return fakeResult(1), nil },
+		func(int, *Result[int, int]) bool { return false },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Converged || info.Iterations != 3 {
+		t.Fatalf("%+v", info)
+	}
+}
+
+func TestIteratePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, info, err := Iterate(5,
+		func(iter int) (*Result[int, int], error) {
+			if iter == 2 {
+				return nil, boom
+			}
+			return fakeResult(1), nil
+		},
+		func(int, *Result[int, int]) bool { return false },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if info.Iterations != 2 {
+		t.Fatalf("%+v", info)
+	}
+}
+
+func TestIterateValidation(t *testing.T) {
+	if _, _, err := Iterate[int, int](0, nil, nil); err == nil {
+		t.Fatal("maxIter 0 accepted")
+	}
+	if _, _, err := Iterate[int, int](1, nil, nil); err == nil {
+		t.Fatal("nil callbacks accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Package mr defines the MapReduce job model shared by the two execution
+// engines in this repository: the Phoenix++-style baseline
+// (internal/phoenix) and the decoupled RAMR runtime (internal/core).
+//
+// The workflow follows the shared-memory MapReduce lineage the paper builds
+// on (Phoenix → Phoenix Rebirth → Phoenix++): the input is partitioned into
+// splits, map tasks emit intermediate key-value pairs, a combine function
+// folds pairs with equal keys into per-worker containers, a reduce function
+// finalizes each key, and a merge produces the ordered output. The two
+// engines differ only in *where* the combine runs — fused into the mapper
+// (Phoenix++) or decoupled onto concurrent combiner threads fed by SPSC
+// queues (RAMR).
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ramr/internal/container"
+)
+
+// Pair is one key-value element of a job's final output.
+type Pair[K comparable, R any] struct {
+	Key   K
+	Value R
+}
+
+// Spec is a complete MapReduce job description.
+//
+// Type parameters: S is the split (task input) type, K/V the intermediate
+// key and value types, R the final per-key result type.
+type Spec[S any, K comparable, V, R any] struct {
+	// Name labels the job in reports and profiles.
+	Name string
+
+	// Splits is the pre-partitioned input: one element per split, as
+	// produced by the user's partitioning function. TaskSize splits are
+	// grouped into one map task (§III: "the task size defines the
+	// number of splits that correspond to a task").
+	Splits []S
+
+	// Map processes one split, emitting intermediate pairs.
+	Map func(split S, emit func(K, V))
+
+	// Combine folds two intermediate values for the same key. It must
+	// be associative and is applied both inside containers and when
+	// per-worker containers merge.
+	Combine container.Combine[V]
+
+	// Reduce finalizes one key's combined value. When nil, V must be
+	// assignable to R via the identity (the engines require a non-nil
+	// Reduce; use IdentityReduce for pass-through jobs).
+	Reduce func(k K, acc V) R
+
+	// NewContainer allocates one intermediate container. Each worker
+	// (Phoenix) or combiner (RAMR) gets a private instance.
+	NewContainer container.Factory[K, V]
+
+	// Less orders the final output by key when non-nil; otherwise the
+	// output order is unspecified.
+	Less func(a, b K) bool
+}
+
+// Validate reports the first structural problem with the spec.
+func (s *Spec[S, K, V, R]) Validate() error {
+	switch {
+	case s.Map == nil:
+		return errors.New("mr: spec has no Map function")
+	case s.Combine == nil:
+		return errors.New("mr: spec has no Combine function")
+	case s.Reduce == nil:
+		return errors.New("mr: spec has no Reduce function")
+	case s.NewContainer == nil:
+		return errors.New("mr: spec has no container factory")
+	}
+	return nil
+}
+
+// IdentityReduce returns a Reduce that passes the combined value through.
+func IdentityReduce[K comparable, V any]() func(K, V) V {
+	return func(_ K, v V) V { return v }
+}
+
+// PhaseTimes records wall-clock duration per MapReduce phase, the
+// measurement behind the paper's Fig. 1 run-time breakdown.
+type PhaseTimes struct {
+	Init       time.Duration
+	Partition  time.Duration
+	MapCombine time.Duration
+	Reduce     time.Duration
+	Merge      time.Duration
+}
+
+// Total returns the sum over all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Init + p.Partition + p.MapCombine + p.Reduce + p.Merge
+}
+
+// Fractions returns each phase as a fraction of the total (zeros when the
+// total is zero).
+func (p PhaseTimes) Fractions() (init, partition, mapCombine, reduce, merge float64) {
+	t := p.Total().Seconds()
+	if t == 0 {
+		return
+	}
+	return p.Init.Seconds() / t, p.Partition.Seconds() / t,
+		p.MapCombine.Seconds() / t, p.Reduce.Seconds() / t, p.Merge.Seconds() / t
+}
+
+// String renders the breakdown as percentages.
+func (p PhaseTimes) String() string {
+	i, pa, mc, r, m := p.Fractions()
+	return fmt.Sprintf("init %.1f%% | partition %.1f%% | map-combine %.1f%% | reduce %.1f%% | merge %.1f%%",
+		i*100, pa*100, mc*100, r*100, m*100)
+}
+
+// Result is a completed job's output plus its execution profile.
+type Result[K comparable, R any] struct {
+	// Pairs is the final output, ordered by Spec.Less when provided.
+	Pairs []Pair[K, R]
+	// Phases is the per-phase timing profile.
+	Phases PhaseTimes
+	// QueueStats aggregates SPSC queue counters (RAMR engine only).
+	QueueStats QueueStats
+}
+
+// QueueStats aggregates the SPSC counters across all mapper queues of one
+// RAMR run.
+type QueueStats struct {
+	Pushes      uint64
+	FailedPush  uint64
+	Pops        uint64
+	EmptyPolls  uint64
+	BatchCalls  uint64
+	SleepMicros uint64
+}

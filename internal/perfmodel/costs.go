@@ -1,0 +1,93 @@
+package perfmodel
+
+import (
+	"ramr/internal/container"
+	"ramr/internal/topology"
+)
+
+// JobCosts carries the per-element phase costs of one app/container pair
+// under both execution disciplines:
+//
+//   - Fused (Phoenix++): map and combine interleave on one thread, so the
+//     input stream and the container working set fight over that thread's
+//     caches; both phases are measured on one shared cache state.
+//   - Split (RAMR): the mapper touches only the input (and the map-side
+//     structures) while the combiner touches only its container, each on
+//     its own cache state — and since the decoupled design allocates one
+//     container per *combiner* rather than per worker, each container
+//     enjoys roughly twice the shared-cache share.
+//
+// The difference between the two is the cache-isolation benefit the
+// decoupled pipeline buys before queue costs are subtracted; both go into
+// the runtime simulator (internal/simarch).
+type JobCosts struct {
+	FusedMap, FusedCombine PhaseCost
+	SplitMap, SplitCombine PhaseCost
+	Trace                  AppTrace
+}
+
+// combinerShareBoost is the shared-cache share multiplier for a decoupled
+// combiner: with the default 1:1 mapper/combiner ratio, containers number
+// half the fused case, doubling each one's share of the outer caches.
+const combinerShareBoost = 2
+
+// JobCostsFor measures the fused and split costs of one app/container pair
+// on machine m.
+func JobCostsFor(m *topology.Machine, app string, kind container.Kind) (JobCosts, error) {
+	tr, err := ForApp(app, kind)
+	if err != nil {
+		return JobCosts{}, err
+	}
+	jc := JobCosts{Trace: tr}
+	n := float64(tr.Elements)
+	if n == 0 {
+		n = 1
+	}
+
+	// Fused: both phases interleaved on one thread's cache state.
+	fm, err := NewModel(m, 1)
+	if err != nil {
+		return JobCosts{}, err
+	}
+	mc, cc := fm.ExecutePhases(tr.Gen)
+	jc.FusedMap = PhaseCost{CyclesPerElem: float64(mc.Cycles) / n, MemFrac: frac(mc.MemStall, mc.Cycles)}
+	jc.FusedCombine = PhaseCost{CyclesPerElem: float64(cc.Cycles) / n, MemFrac: frac(cc.MemStall, cc.Cycles)}
+
+	// Split map: the mapper's cache sees only map-phase traffic.
+	sm, err := NewModel(m, 1)
+	if err != nil {
+		return JobCosts{}, err
+	}
+	mo, _ := sm.ExecutePhases(func(emitMap, _ func(Op)) {
+		tr.Gen(emitMap, func(Op) {})
+	})
+	jc.SplitMap = PhaseCost{CyclesPerElem: float64(mo.Cycles) / n, MemFrac: frac(mo.MemStall, mo.Cycles)}
+
+	// Split combine: the combiner's cache sees only its container, with
+	// the doubled outer-cache share of the halved container population.
+	boosted := boostSharedLevels(m, combinerShareBoost)
+	sc, err := NewModel(boosted, 1)
+	if err != nil {
+		return JobCosts{}, err
+	}
+	_, co := sc.ExecutePhases(func(_, emitCombine func(Op)) {
+		tr.Gen(func(Op) {}, emitCombine)
+	})
+	jc.SplitCombine = PhaseCost{CyclesPerElem: float64(co.Cycles) / n, MemFrac: frac(co.MemStall, co.Cycles)}
+	return jc, nil
+}
+
+// boostSharedLevels returns a copy of m whose per-socket and global cache
+// levels are enlarged by factor, so the per-thread fair share computed by
+// cachesim.NewPerThread reflects the smaller container population.
+func boostSharedLevels(m *topology.Machine, factor int) *topology.Machine {
+	out := *m
+	out.Caches = append([]topology.CacheLevel(nil), m.Caches...)
+	for i := range out.Caches {
+		switch out.Caches[i].Scope {
+		case topology.ScopePerSocket, topology.ScopeGlobal:
+			out.Caches[i].SizeBytes *= factor
+		}
+	}
+	return &out
+}

@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"ramr/internal/container"
+	"ramr/internal/topology"
+)
+
+// Suitability computes the Fig. 10 metrics (IPB, MSPI, RSPI) for one
+// application under one container configuration on machine m. As in the
+// paper, the metrics "concern the map/combine phase only": the model
+// executes the interleaved map/combine trace on one hardware thread's
+// cache view (capacity shared with its SMT siblings) and aggregates both
+// phases' counters.
+func Suitability(m *topology.Machine, app string, kind container.Kind) (Metrics, error) {
+	tr, err := ForApp(app, kind)
+	if err != nil {
+		return Metrics{}, err
+	}
+	model, err := NewModel(m, 1)
+	if err != nil {
+		return Metrics{}, err
+	}
+	mapC, combC := model.ExecutePhases(tr.Gen)
+	mapC.Add(combC)
+	return ComputeMetrics(mapC, tr.InputBytes), nil
+}
+
+// PhaseCost is the per-emitted-element cost of one phase, the currency of
+// the runtime simulator (internal/simarch).
+type PhaseCost struct {
+	// CyclesPerElem is the average cycles one element costs this phase.
+	CyclesPerElem float64
+	// MemFrac is the fraction of those cycles stalled on memory —
+	// the "complementary characteristics" dial: a compute-heavy phase
+	// has a low MemFrac, a memory-heavy one a high MemFrac.
+	MemFrac float64
+}
+
+// Costs measures both phases of an app/container pair on machine m and
+// returns their per-element costs plus the trace metadata. The phases
+// execute interleaved (sharing cache state), exactly as they do in both
+// runtimes.
+func Costs(m *topology.Machine, app string, kind container.Kind) (mapCost, combineCost PhaseCost, tr AppTrace, err error) {
+	tr, err = ForApp(app, kind)
+	if err != nil {
+		return
+	}
+	model, merr := NewModel(m, 1)
+	if merr != nil {
+		err = merr
+		return
+	}
+	mc, cc := model.ExecutePhases(tr.Gen)
+	n := float64(tr.Elements)
+	if n == 0 {
+		n = 1
+	}
+	mapCost = PhaseCost{
+		CyclesPerElem: float64(mc.Cycles) / n,
+		MemFrac:       frac(mc.MemStall, mc.Cycles),
+	}
+	combineCost = PhaseCost{
+		CyclesPerElem: float64(cc.Cycles) / n,
+		MemFrac:       frac(cc.MemStall, cc.Cycles),
+	}
+	return
+}
+
+func frac(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	f := float64(num) / float64(den)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,386 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"ramr/internal/container"
+	"ramr/internal/stats"
+)
+
+// AppTrace bundles one application's modeled map/combine stream for one
+// container configuration.
+type AppTrace struct {
+	// App is the short name (WC, HG, LR, KM, PCA, MM).
+	App string
+	// Kind is the intermediate container configuration.
+	Kind container.Kind
+	// InputBytes is the modeled input volume (the IPB denominator).
+	InputBytes int
+	// Elements is the number of intermediate pairs the map phase emits.
+	Elements int
+	// ElemBytes is the size of one queued pair (key + value), used by
+	// the runtime simulator to size queue transfers.
+	ElemBytes int
+	// DistinctKeys is the final key cardinality of the modeled sample.
+	DistinctKeys int
+	// Gen generates the interleaved stream: map-phase operations go to
+	// the first emitter, combine-phase (container update) operations to
+	// the second, in program order.
+	Gen PhasedTrace
+}
+
+// Address-space layout for the traces: disjoint regions so cache behavior
+// per structure is realistic.
+const (
+	inputBase     = uint64(0x1000_0000)
+	centroidBase  = uint64(0x1800_0000)
+	containerBase = uint64(0x2000_0000)
+	matrixBBase   = uint64(0x3000_0000)
+	heapBase      = uint64(0x4000_0000)
+	pointHeapBase = uint64(0x5000_0000)
+)
+
+// fixedHashMinSlots models Phoenix++'s fixed-size hash container, which
+// pre-allocates a generically sized table rather than fitting the key
+// range — that oversized, scatter-accessed table is precisely what makes
+// the Figs. 8b/9b configuration memory-intensive even for apps with tiny
+// key ranges (LR has 5 keys and still stalls in Fig. 10b).
+const fixedHashMinSlots = 1 << 18
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// updateOps emits the container-update operations for one key arrival.
+// Apps whose map emits keys in monotone order (PCA's row-pair sweep) pass
+// seqEntries: a regular hash table then allocates its entry nodes in
+// emission order, so the entry stream is sequential and prefetch-friendly
+// instead of scattered — the locality that keeps PCA's combine cheap under
+// every container (§IV-E).
+func updateOps(emit func(Op), kind container.Kind, key uint64, keyRange, ordinal, elements int) {
+	updateOpsLoc(emit, kind, key, keyRange, ordinal, elements, false)
+}
+
+func updateOpsLoc(emit func(Op), kind container.Kind, key uint64, keyRange, ordinal, elements int, seqEntries bool) {
+	switch kind {
+	case container.KindFixedArray:
+		// Direct index: one load + one store at base+key*8, plus the
+		// add itself.
+		addr := containerBase + key*8
+		emit(Op{Kind: OpLoad, Addr: addr})
+		emit(Op{Kind: OpCompute, N: 2})
+		emit(Op{Kind: OpStore, Addr: addr})
+	case container.KindFixedHash:
+		// Hash computation, then probe(s) scattered over the
+		// pre-allocated table (16 B slots), then the update store.
+		emit(Op{Kind: OpCompute, N: 12})
+		slots := uint64(nextPow2(maxInt(keyRange+keyRange/7, fixedHashMinSlots)))
+		slot := mix64(key) % slots
+		addr := containerBase + slot*16
+		emit(Op{Kind: OpLoad, Addr: addr, Dep: true})
+		// Second probe for ~30% of accesses (collision chain).
+		if mix64(key^0xabcd)%10 < 3 {
+			emit(Op{Kind: OpLoad, Addr: addr + 16, Dep: true})
+		}
+		emit(Op{Kind: OpCompute, N: 3})
+		emit(Op{Kind: OpStore, Addr: addr})
+	case container.KindHash:
+		// Regular hash table: hash, bucket-array load, dependent
+		// entry load, update store; new keys additionally pay the
+		// allocator. Entry nodes sit in allocation order: scattered
+		// for arbitrary key arrival, sequential when the app emits
+		// keys monotonically (seqEntries).
+		emit(Op{Kind: OpCompute, N: 16})
+		h := mix64(key)
+		buckets := uint64(nextPow2(keyRange)) * 8
+		emit(Op{Kind: OpLoad, Addr: heapBase + (h % buckets)})
+		var entry uint64
+		if seqEntries {
+			entry = heapBase + 0x100_0000 + key*96
+		} else {
+			entryRegion := uint64(keyRange*96) | 0xfff
+			entry = heapBase + 0x100_0000 + (mix64(h)%entryRegion)&^0x3f
+		}
+		emit(Op{Kind: OpLoad, Addr: entry, Dep: !seqEntries})
+		emit(Op{Kind: OpCompute, N: 3})
+		emit(Op{Kind: OpStore, Addr: entry})
+		// New-key insertions allocate; model them as spread over the
+		// stream at the distinct-key rate. A bump/slab allocator
+		// serves monotone insertions from warm slabs.
+		if elements > 0 && ordinal%(maxInt(elements/maxInt(keyRange, 1), 1)) == 0 && !seqEntries {
+			emit(Op{Kind: OpAlloc})
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForApp returns the modeled trace of one app under one container
+// configuration. The trace parameters (instructions per element, access
+// patterns, key distributions, dependency chains) are qualitative profiles
+// of the Phoenix++ applications; their fidelity target is the
+// *comparative* behaviour of Fig. 10, pinned by the package tests.
+func ForApp(app string, kind container.Kind) (AppTrace, error) {
+	switch app {
+	case "HG":
+		return hgTrace(kind), nil
+	case "LR":
+		return lrTrace(kind), nil
+	case "WC":
+		return wcTrace(kind), nil
+	case "KM":
+		return kmTrace(kind), nil
+	case "PCA":
+		return pcaTrace(kind), nil
+	case "MM":
+		return mmTrace(kind), nil
+	default:
+		return AppTrace{}, fmt.Errorf("perfmodel: unknown app %q", app)
+	}
+}
+
+// hgTrace: sequential byte scan, three light emissions per pixel. Lowest
+// instructions-per-byte in the suite.
+func hgTrace(kind container.Kind) AppTrace {
+	const pixels = 200_000
+	const inputBytes = pixels * 3
+	elements := pixels * 3
+	t := AppTrace{App: "HG", Kind: kind, InputBytes: inputBytes,
+		Elements: elements, ElemBytes: 16, DistinctKeys: 768}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		rng := stats.Rng(7, "hg-keys")
+		ord := 0
+		for p := 0; p < pixels; p++ {
+			for ch := 0; ch < 3; ch++ {
+				emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64(p*3+ch)})
+				emitMap(Op{Kind: OpCompute, N: 2})
+				key := uint64(ch*256 + rng.Intn(256))
+				updateOps(emitCombine, kind, key, 768, ord, elements)
+				ord++
+			}
+		}
+	}
+	return t
+}
+
+// lrTrace: two bytes per point, five trivial emissions. Light like HG.
+func lrTrace(kind container.Kind) AppTrace {
+	const points = 120_000
+	const inputBytes = points * 2
+	elements := points * 5
+	t := AppTrace{App: "LR", Kind: kind, InputBytes: inputBytes,
+		Elements: elements, ElemBytes: 16, DistinctKeys: 5}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		ord := 0
+		for p := 0; p < points; p++ {
+			emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64(p*2)})
+			emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64(p*2+1)})
+			// x*x, y*y, x*y and the two raw sums.
+			emitMap(Op{Kind: OpCompute, N: 8})
+			for k := 0; k < 5; k++ {
+				updateOps(emitCombine, kind, uint64(k), 5, ord, elements)
+				ord++
+			}
+		}
+	}
+	return t
+}
+
+// wcTrace: byte-wise parsing (compare/branch per character), one hashed
+// emission per word; always a hash-family container, so switching the
+// suite to "stress" containers barely changes WC — the paper's "reasonable
+// exception" in Fig. 10b.
+func wcTrace(kind container.Kind) AppTrace {
+	const bytes = 400_000
+	const avgWord = 8
+	const vocab = 5000
+	words := bytes / avgWord
+	t := AppTrace{App: "WC", Kind: kind, InputBytes: bytes,
+		Elements: words, ElemBytes: 24, DistinctKeys: vocab}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		rng := stats.Rng(11, "wc-keys")
+		zipf := stats.NewZipf(rng, 1.5, vocab)
+		for w := 0; w < words; w++ {
+			for b := 0; b < avgWord; b += 4 {
+				emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64(w*avgWord+b)})
+			}
+			// Classification, boundary branches, slice handling.
+			emitMap(Op{Kind: OpCompute, N: 3 * avgWord})
+			// String keys hash per character before the update.
+			emitCombine(Op{Kind: OpCompute, N: 2 * avgWord})
+			updateOps(emitCombine, kind, zipf.Next(), vocab, w, words)
+		}
+	}
+	return t
+}
+
+// kmTrace: the map finds each point's nearest centroid — K*D FP distance
+// arithmetic over cache-resident centroids, an almost purely
+// compute-intensive kernel (high IPB: many clusters over small-dimension
+// points) — and emits one (cluster, &point) pair. The combine
+// dereferences the point (the Phoenix KMeans points live behind a pointer
+// array on a large heap, so this is a cold, serialized miss) and
+// accumulates the D-dimensional vector into the cluster's accumulator.
+// This is the paper's canonical complementary pair: CPU-intensive map,
+// memory-intensive combine of comparable per-element cost (§III-B,
+// §IV-E).
+func kmTrace(kind container.Kind) AppTrace {
+	const points = 4000
+	const dims = 4
+	const k = 64
+	const pointRegion = 64 << 20
+	inputBytes := points * dims * 8
+	elements := points
+	t := AppTrace{App: "KM", Kind: kind, InputBytes: inputBytes,
+		Elements: elements, ElemBytes: 16, DistinctKeys: k * (dims + 1)}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		rng := stats.Rng(13, "km-keys")
+		for p := 0; p < points; p++ {
+			// The mapper reads the point once (pointer + pointee); the
+			// point fits one cache line.
+			emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64(p*8)})
+			pbase := pointHeapBase + (mix64(uint64(p))%pointRegion)&^0x3f
+			emitMap(Op{Kind: OpLoad, Addr: pbase, Dep: true})
+			for c := 0; c < k; c++ {
+				// Centroids are small and cache-resident; the
+				// element-wise distance arithmetic vectorizes
+				// (independent ops), only the min-tracking compare
+				// serializes.
+				emitMap(Op{Kind: OpLoad, Addr: centroidBase + uint64(c*dims*8)})
+				emitMap(Op{Kind: OpCompute, N: 3 * dims})
+				emitMap(Op{Kind: OpCompute, N: 2, Chained: true}) // min compare/branch
+			}
+			// Combine: chase the point pointer again (cold in the
+			// combiner's cache), then vector-accumulate into the
+			// cluster's sum and count slots.
+			cl := uint64(rng.Intn(k))
+			cbase := pointHeapBase + (mix64(uint64(p)+0x5bd1)%pointRegion)&^0x3f
+			emitCombine(Op{Kind: OpLoad, Addr: cbase, Dep: true})
+			emitCombine(Op{Kind: OpCompute, N: 2 * dims, Chained: true})
+			updateOps(emitCombine, kind, cl*uint64(dims+1), k*(dims+1), p, elements)
+			updateOps(emitCombine, kind, cl*uint64(dims+1)+uint64(dims), k*(dims+1), p, elements)
+		}
+	}
+	return t
+}
+
+// pcaTrace: long sequential integer dot products over row pairs; one
+// emission per pair. High IPB, prefetch-friendly streams, and independent
+// (vectorizable) arithmetic — hence the paper's "high IPB value but rare
+// stall cycles".
+func pcaTrace(kind container.Kind) AppTrace {
+	const n = 160
+	pairs := n * (n + 1) / 2
+	inputBytes := n * n * 4
+	t := AppTrace{App: "PCA", Kind: kind, InputBytes: inputBytes,
+		Elements: 2 * pairs, ElemBytes: 16, DistinctKeys: pairs}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		// Each pair's covariance is emitted as two half-row partials,
+		// so every container entry is updated twice: the second update
+		// finds the entry warm, keeping the combine light under every
+		// container — the paper's observation that PCA "will
+		// practically demonstrate the same behavior as with the
+		// default array container".
+		ord := 0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				for half := 0; half < 2; half++ {
+					for kk := half * n / 2; kk < (half+1)*n/2; kk += 16 {
+						// One cache line of each row at a time; the
+						// 16 element-wise sub/sub/mul/add groups are
+						// independent and vectorize.
+						emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64((i*n+kk)*4)})
+						emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64((j*n+kk)*4)})
+						emitMap(Op{Kind: OpCompute, N: 64})
+					}
+					updateOpsLoc(emitCombine, kind, uint64(ord/2), pairs, ord, pairs, true)
+					ord++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// mmTrace: blocked C = A x B over a row sample. The map scans B
+// row-by-row within the k-block (sequential, prefetched) keeping a row of
+// C partials in registers/L1 — a compute-intensive kernel — and emits one
+// partial per output cell per k-block. The combine folds partials into
+// the output container, whose full-output-matrix span (each worker
+// pre-allocates all of C with the default container, as §IV-E describes)
+// makes the updates scattered and memory-intensive: MM's complementary
+// structure, with KM the paper's strongest RAMR case.
+func mmTrace(kind container.Kind) AppTrace {
+	const n = 512
+	const sampleRows = 24
+	const kblocks = 4
+	kb := n / kblocks
+	cells := sampleRows * n
+	elements := cells * kblocks
+	// The sample covers sampleRows rows of A plus the same share of B.
+	inputBytes := 2 * sampleRows * n * 4
+	// With the default container every worker pre-allocates the FULL
+	// output matrix (n*n cells) and its updates land in its true row —
+	// the capacity overshoot §IV-E describes. A fitted hash container
+	// only spans the cells actually touched ("the size is adjusted so
+	// that it fits only the essential key-value pairs"), which is why
+	// MM's stalls *drop* when switching containers in Fig. 10b.
+	keyRange := n * n
+	if kind != container.KindFixedArray {
+		keyRange = cells
+	}
+	t := AppTrace{App: "MM", Kind: kind, InputBytes: inputBytes,
+		Elements: elements, ElemBytes: 16, DistinctKeys: cells}
+	t.Gen = func(emitMap, emitCombine func(Op)) {
+		ord := 0
+		rowStride := n / sampleRows
+		for s := 0; s < sampleRows; s++ {
+			for blk := 0; blk < kblocks; blk++ {
+				// Row-ordered scan: A row chunk and B rows stream
+				// sequentially; C partials live in registers/L1.
+				for kk := blk * kb; kk < (blk+1)*kb; kk++ {
+					emitMap(Op{Kind: OpLoad, Addr: inputBase + uint64((s*n+kk)*4)})
+					for j := 0; j < n; j += 16 {
+						emitMap(Op{Kind: OpLoad, Addr: matrixBBase + uint64((kk*n+j)*4)})
+						emitMap(Op{Kind: OpCompute, N: 32})
+					}
+				}
+				// Emit the row of partials. At the combiner, tiles
+				// from many mappers interleave, so consecutive
+				// updates jump between distant row bands of the
+				// output — jitter models that interleaving.
+				for j := 0; j < n; j++ {
+					var key uint64
+					if kind == container.KindFixedArray {
+						row := s*rowStride + int(mix64(uint64(ord))%uint64(rowStride))
+						key = uint64(row*n + j)
+					} else {
+						key = uint64((s*n + j) % cells)
+					}
+					updateOps(emitCombine, kind, key, keyRange, ord, elements)
+					ord++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// AllApps lists the suite for iteration.
+func AllApps() []string { return []string{"HG", "KM", "LR", "MM", "PCA", "WC"} }

@@ -1,0 +1,39 @@
+package phoenix
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapPanicBecomesError(t *testing.T) {
+	s := spec(100, 10, 5)
+	s.Map = func(int, func(int, int)) { panic("map exploded") }
+	_, err := Run(s, cfg())
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("map panic not reported: %v", err)
+	}
+}
+
+func TestCombinePanicBecomesError(t *testing.T) {
+	s := spec(100, 10, 5)
+	n := 0
+	s.Combine = func(a, b int) int {
+		n++
+		if n > 50 {
+			panic("combine exploded")
+		}
+		return a + b
+	}
+	if _, err := Run(s, cfg()); err == nil {
+		t.Fatal("combine panic not reported")
+	}
+}
+
+func TestReducePanicBecomesError(t *testing.T) {
+	s := spec(20, 10, 5)
+	s.Reduce = func(k, v int) int { panic("reduce exploded") }
+	_, err := Run(s, cfg())
+	if err == nil || !strings.Contains(err.Error(), "reduce") {
+		t.Fatalf("reduce panic not reported: %v", err)
+	}
+}

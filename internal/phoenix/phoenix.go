@@ -1,0 +1,130 @@
+// Package phoenix implements the baseline execution engine the paper
+// compares against: a Go port of the Phoenix++ strategy for shared-memory
+// MapReduce (Talbot, Yoo, Kozyrakis, MapReduce '11).
+//
+// In Phoenix++ the combine function is applied *after every map operation*
+// into a thread-local container — map and combine are fused on the same
+// worker thread and therefore serialized with each other. The subsequent
+// reduce runs in parallel over the merged containers, and a final merge
+// orders the output. This fusion is precisely the structural property RAMR
+// (internal/core) relaxes, so keeping everything else — splits, tasks,
+// containers, reduce, merge — byte-identical between the two engines makes
+// the comparison isolate the runtime architecture, as in the paper.
+package phoenix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/trace"
+)
+
+// Run executes the job with the Phoenix++ strategy: cfg.Mappers +
+// cfg.NumCombiners() general-purpose workers (so total thread budget
+// matches an equivalent RAMR run), each fusing map and combine into a
+// private container, followed by parallel reduce and merge.
+func Run[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	return RunContext(context.Background(), spec, cfg)
+}
+
+// RunContext is Run with cancellation: workers stop taking tasks after
+// their current one once ctx is cancelled, and the context's error is
+// returned.
+func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Mappers + cfg.NumCombiners()
+
+	res := &mr.Result[K, R]{}
+
+	// --- Init: allocate per-worker containers. ---
+	t0 := time.Now()
+	containers := make([]container.Container[K, V], workers)
+	for i := range containers {
+		containers[i] = spec.NewContainer()
+	}
+	res.Phases.Init = time.Since(t0)
+
+	// --- Partition: group splits into tasks. ---
+	t0 = time.Now()
+	tasks := mr.Tasks(len(spec.Splits), cfg.TaskSize)
+	res.Phases.Partition = time.Since(t0)
+
+	// --- Map-combine: fused, dynamic task dispatch. A user-code panic
+	// becomes an error; the abort flag stops further dispatch. ---
+	t0 = time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr mr.FirstError
+	var abort atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, c container.Container[K, V]) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstErr.Setf("phoenix: worker %d panicked: %v", w, r)
+					abort.Store(true)
+				}
+			}()
+			var shard *trace.Shard
+			if cfg.Trace != nil {
+				shard = cfg.Trace.Shard(fmt.Sprintf("worker-%d", w))
+			}
+			emit := func(k K, v V) { c.Update(k, v, spec.Combine) }
+			for !abort.Load() && ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				var end func()
+				if shard != nil {
+					end = shard.Span("task", nil)
+				}
+				for s := tasks[i][0]; s < tasks[i][1]; s++ {
+					spec.Map(spec.Splits[s], emit)
+				}
+				if end != nil {
+					end()
+				}
+			}
+		}(w, containers[w])
+	}
+	wg.Wait()
+	res.Phases.MapCombine = time.Since(t0)
+	if err := firstErr.Get(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- Reduce: tree-merge containers, then parallel reduce. ---
+	t0 = time.Now()
+	merged, err := mr.MergeContainers(containers, spec.Combine)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := mr.ReduceAll(merged, spec.Reduce, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Reduce = time.Since(t0)
+
+	// --- Merge: parallel sort over the worker pool. ---
+	t0 = time.Now()
+	mr.SortPairsParallel(pairs, spec.Less, workers)
+	res.Phases.Merge = time.Since(t0)
+
+	res.Pairs = pairs
+	return res, nil
+}

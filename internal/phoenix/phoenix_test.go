@@ -1,0 +1,123 @@
+package phoenix
+
+import (
+	"testing"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/topology"
+)
+
+func spec(splits, emits, keys int) *mr.Spec[int, int, int, int] {
+	in := make([]int, splits)
+	for i := range in {
+		in[i] = i
+	}
+	return &mr.Spec[int, int, int, int]{
+		Name:   "count",
+		Splits: in,
+		Map: func(s int, emit func(int, int)) {
+			for e := 0; e < emits; e++ {
+				emit((s*emits+e)%keys, 1)
+			}
+		},
+		Combine:      func(a, b int) int { return a + b },
+		Reduce:       mr.IdentityReduce[int, int](),
+		NewContainer: func() container.Container[int, int] { return container.NewFixedArray[int](keys) },
+		Less:         func(a, b int) bool { return a < b },
+	}
+}
+
+func cfg() mr.Config {
+	c := mr.DefaultConfig()
+	c.Mappers = 2
+	c.Combiners = 2
+	c.Machine = topology.Flat(4)
+	c.Pin = mr.PinNone
+	return c
+}
+
+func TestRunCorrectness(t *testing.T) {
+	res, err := Run(spec(30, 20, 11), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 11 {
+		t.Fatalf("%d keys, want 11", len(res.Pairs))
+	}
+	total := 0
+	for i, p := range res.Pairs {
+		if p.Key != i {
+			t.Fatalf("not sorted: %v", res.Pairs)
+		}
+		total += p.Value
+	}
+	if total != 600 {
+		t.Fatalf("total = %d", total)
+	}
+	// Fused engine never touches queues.
+	if res.QueueStats.Pushes != 0 {
+		t.Fatalf("phoenix reported queue stats: %+v", res.QueueStats)
+	}
+	if res.Phases.MapCombine <= 0 {
+		t.Fatal("map-combine phase not timed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := cfg()
+	bad.TaskSize = 0
+	if _, err := Run(spec(4, 4, 4), bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	s := spec(4, 4, 4)
+	s.Combine = nil
+	if _, err := Run(s, cfg()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(spec(0, 5, 5), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Fatal("expected empty output")
+	}
+}
+
+func TestReduceTransforms(t *testing.T) {
+	s := spec(10, 10, 4)
+	s.Reduce = func(k, v int) int { return v * 1000 }
+	res, err := Run(s, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	if total != 100*1000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(spec(20, 20, 9), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec(20, 20, 9), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("output size varies")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package simarch
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ramr/internal/core"
+	"ramr/internal/mr"
+	"ramr/internal/topology"
+)
+
+// This file implements a discrete-event simulation (DES) of the RAMR
+// map-combine pipeline, complementing the closed-form throughput model in
+// simarch.go. The analytic model computes steady-state rates; the DES
+// executes the actual protocol — bounded queues that block producers,
+// combiners that wait for full batches, the end-of-map drain — event by
+// event, so transients (pipeline fill, stragglers, drain tails) and
+// head-of-line blocking emerge instead of being approximated. The package
+// tests cross-validate the two: on the benchmark workloads their estimates
+// agree within a modest factor, which is evidence that the closed form
+// isn't hiding a protocol error.
+//
+// Granularity: mappers produce and combiners consume in blocks of
+// min(batch, desGranule) elements. This keeps the event count tractable
+// (millions of elements become thousands of events) while preserving the
+// queue-capacity and batch-boundary dynamics.
+
+// desGranule caps the block size used for event scheduling.
+const desGranule = 256
+
+// desEvent is one scheduled completion.
+type desEvent struct {
+	at   float64
+	kind int // 0 = mapper block complete, 1 = combiner batch complete
+	who  int // worker index within its pool
+	seq  int // tie-breaker for determinism
+}
+
+type desHeap []desEvent
+
+func (h desHeap) Len() int { return len(h) }
+func (h desHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h desHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *desHeap) Push(x any)   { *h = append(*h, x.(desEvent)) }
+func (h *desHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// desQueue is the simulated bounded SPSC ring.
+type desQueue struct {
+	fill     int
+	cap      int
+	closed   bool
+	producer int // mapper index
+}
+
+// desMapper tracks one producer's state.
+type desMapper struct {
+	remaining int  // elements still to produce
+	blocked   bool // waiting for queue space
+	busyUntil float64
+	perElem   float64 // cycles per element including push overhead
+}
+
+// desCombiner tracks one consumer's state.
+type desCombiner struct {
+	queues    []int // indices of assigned queues
+	next      int   // round-robin scan start (fairness across queues)
+	busy      bool
+	busyUntil float64
+	perElem   float64 // cycles per element including pop+transfer share
+	perBatch  float64 // per-consume-call cycles
+}
+
+// SimulateRAMRDES runs the discrete-event simulation of the decoupled
+// pipeline and returns the modeled map-combine duration. It shares every
+// cost parameter (SMT speeds, MLP, queue overheads, transfer latencies)
+// with SimulateRAMR; only the execution mechanism differs.
+func SimulateRAMRDES(m *topology.Machine, w Workload, cfg Config) (Estimate, error) {
+	if err := validate(m, w, cfg); err != nil {
+		return Estimate{}, err
+	}
+	mappers, combiners := cfg.Mappers, cfg.Combiners
+	plan := core.BuildPlan(m, mappers, combiners, cfg.Pin)
+	assign := core.QueueAssignment(mappers, combiners)
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	qcap := cfg.QueueCap
+	if qcap < 1 {
+		qcap = 5000
+	}
+	if batch > qcap {
+		batch = qcap
+	}
+	granule := batch
+	if granule > desGranule {
+		granule = desGranule
+	}
+
+	// Per-thread speeds from the shared placement/SMT model.
+	threads := make([]thread, 0, mappers+combiners)
+	for i := 0; i < mappers; i++ {
+		threads = append(threads, thread{cpu: plan.MapperCPU[i], compFrac: 1 - w.Map.MemFrac, memFrac: w.Map.MemFrac})
+	}
+	for j := 0; j < combiners; j++ {
+		threads = append(threads, thread{cpu: plan.CombinerCPU[j], compFrac: 1 - w.Combine.MemFrac, memFrac: w.Combine.MemFrac})
+	}
+	speeds := placementSpeeds(m, threads)
+	mlp := mlpFor(m)
+	ovh := overheadsFor(m)
+	penalty := 1.0
+	if cfg.Pin == mr.PinNone {
+		penalty = migratePenalty
+	}
+	linesPerElem := float64(w.ElemBytes) / 64.0
+
+	// Build state.
+	per := w.Elements / mappers
+	qs := make([]desQueue, mappers)
+	ms := make([]desMapper, mappers)
+	for i := range ms {
+		rem := per
+		if i < w.Elements%mappers {
+			rem++
+		}
+		ms[i] = desMapper{
+			remaining: rem,
+			perElem:   (effCost(w.Map, mlp.mapMLP) + ovh.push) * penalty / speeds[i],
+		}
+		qs[i] = desQueue{cap: qcap, producer: i}
+	}
+	cs := make([]desCombiner, combiners)
+	for j := range cs {
+		var idxs []int
+		var lat float64
+		for i := assign[j][0]; i < assign[j][1]; i++ {
+			idxs = append(idxs, i)
+			lat += batchTransferLatency(m, plan.MapperCPU[i], plan.CombinerCPU[j], batch, w.ElemBytes)
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		avgLat := lat / float64(len(idxs))
+		xferPerElem := avgLat * linesPerElem / mlp.combinerMLP(batch)
+		cs[j] = desCombiner{
+			queues:   idxs,
+			perElem:  (effCost(w.Combine, mlp.combinerMLP(batch)) + ovh.pop + xferPerElem) * penalty / speeds[mappers+j],
+			perBatch: (ovh.popCall + avgLat*controlSyncLines) * penalty / speeds[mappers+j],
+		}
+	}
+	combinerOf := make([]int, mappers)
+	for j, rng := range assign {
+		for i := rng[0]; i < rng[1]; i++ {
+			combinerOf[i] = j
+		}
+	}
+
+	// Event loop.
+	var h desHeap
+	seq := 0
+	schedule := func(at float64, kind, who int) {
+		heap.Push(&h, desEvent{at: at, kind: kind, who: who, seq: seq})
+		seq++
+	}
+	// tryConsume starts a batch on combiner j if one is ready.
+	now := 0.0
+	var tryConsume func(j int)
+	tryConsume = func(j int) {
+		c := &cs[j]
+		if c.busy || len(c.queues) == 0 {
+			return
+		}
+		for k := 0; k < len(c.queues); k++ {
+			qi := c.queues[(c.next+k)%len(c.queues)]
+			q := &qs[qi]
+			want := granule
+			if q.fill >= want || (q.closed && q.fill > 0) {
+				c.next = (c.next + k + 1) % len(c.queues)
+				take := want
+				if take > q.fill {
+					take = q.fill
+				}
+				q.fill -= take
+				c.busy = true
+				// The per-call cost amortizes over the full batch; the
+				// granule carries its share.
+				share := c.perBatch * float64(take) / float64(batch)
+				c.busyUntil = now + float64(take)*c.perElem + share
+				schedule(c.busyUntil, 1, j)
+				// Wake the producer if its next block now fits.
+				mi := q.producer
+				if ms[mi].blocked && q.cap-q.fill >= nextBlock(&ms[mi], granule) {
+					ms[mi].blocked = false
+					startProduce(mi, &h, &seq, now, ms, qs, granule)
+				}
+				return
+			}
+		}
+	}
+
+	// Kick off all mappers.
+	for i := range ms {
+		startProduce(i, &h, &seq, 0, ms, qs, granule)
+	}
+
+	guard := 0
+	for h.Len() > 0 {
+		guard++
+		if guard > 50_000_000 {
+			return Estimate{}, fmt.Errorf("simarch: DES exceeded event budget (protocol bug?)")
+		}
+		ev := heap.Pop(&h).(desEvent)
+		now = ev.at
+		switch ev.kind {
+		case 0: // mapper finished producing a block
+			i := ev.who
+			q := &qs[i]
+			blockSz := granule
+			if ms[i].remaining < blockSz {
+				blockSz = ms[i].remaining
+			}
+			ms[i].remaining -= blockSz
+			q.fill += blockSz
+			if ms[i].remaining == 0 {
+				q.closed = true
+			} else if q.cap-q.fill >= nextBlock(&ms[i], granule) {
+				startProduce(i, &h, &seq, now, ms, qs, granule)
+			} else {
+				ms[i].blocked = true
+			}
+			tryConsume(combinerOf[i])
+		case 1: // combiner finished a batch
+			j := ev.who
+			cs[j].busy = false
+			tryConsume(j)
+		}
+	}
+
+	// Validate full consumption (protocol check).
+	for i := range qs {
+		if qs[i].fill != 0 || ms[i].remaining != 0 {
+			return Estimate{}, fmt.Errorf("simarch: DES left work behind (queue %d: fill=%d rem=%d)", i, qs[i].fill, ms[i].remaining)
+		}
+	}
+	return Estimate{Cycles: now}, nil
+}
+
+// nextBlock is the size of mapper m's next production block.
+func nextBlock(m *desMapper, granule int) int {
+	if m.remaining < granule {
+		return m.remaining
+	}
+	return granule
+}
+
+// startProduce schedules mapper i's next block completion.
+func startProduce(i int, h *desHeap, seq *int, now float64, ms []desMapper, qs []desQueue, granule int) {
+	if ms[i].remaining <= 0 {
+		return
+	}
+	blockSz := granule
+	if ms[i].remaining < blockSz {
+		blockSz = ms[i].remaining
+	}
+	ms[i].busyUntil = now + float64(blockSz)*ms[i].perElem
+	heap.Push(h, desEvent{at: ms[i].busyUntil, kind: 0, who: i, seq: *seq})
+	*seq++
+}

@@ -1,0 +1,142 @@
+package simarch
+
+import (
+	"testing"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/perfmodel"
+	"ramr/internal/topology"
+)
+
+func desConfig(threads, ratio, batch int) Config {
+	c := threads / (ratio + 1)
+	if c < 1 {
+		c = 1
+	}
+	return Config{Mappers: threads - c, Combiners: c, Pin: mr.PinRAMR, BatchSize: batch, QueueCap: 5000}
+}
+
+// TestDESValidatesAnalyticModel: on every benchmark workload the DES and
+// the closed-form model must agree within a modest factor — they encode
+// the same cost physics through different mechanisms.
+func TestDESValidatesAnalyticModel(t *testing.T) {
+	m := topology.HaswellServer()
+	for _, app := range []string{"HG", "KM", "LR", "MM", "PCA", "WC"} {
+		w, err := WorkloadFor(m, app, defaultKind(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ratio := range []int{1, 4} {
+			cfg := desConfig(56, ratio, 1000)
+			an, err := SimulateRAMR(m, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			des, err := SimulateRAMRDES(m, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := des.Cycles / an.Cycles
+			if r < 0.5 || r > 2.0 {
+				t.Errorf("%s ratio=%d: DES/analytic = %.2f (des %.3g, analytic %.3g)",
+					app, ratio, r, des.Cycles, an.Cycles)
+			}
+		}
+	}
+}
+
+// TestDESQueueCapacityMatters: shrinking the ring below the batch size
+// throttles the pipeline — the blocking dynamic only the DES captures.
+func TestDESQueueCapacityMatters(t *testing.T) {
+	m := topology.HaswellServer()
+	w, err := WorkloadFor(m, "WC", container.KindHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := desConfig(56, 1, 1000)
+	small := big
+	small.QueueCap = 8 // far below the batch: producers stall constantly
+	bigEst, err := SimulateRAMRDES(m, w, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallEst, err := SimulateRAMRDES(m, w, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallEst.Cycles <= bigEst.Cycles {
+		t.Fatalf("tiny queue should throttle: cap8 %.3g vs cap5000 %.3g", smallEst.Cycles, bigEst.Cycles)
+	}
+}
+
+func TestDESDeterministic(t *testing.T) {
+	m := topology.XeonPhi()
+	w, err := WorkloadFor(m, "KM", container.KindFixedArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := desConfig(228, 4, 200)
+	a, err := SimulateRAMRDES(m, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateRAMRDES(m, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("DES not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	m := topology.HaswellServer()
+	if _, err := SimulateRAMRDES(m, Workload{}, desConfig(8, 1, 10)); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	w := Workload{Name: "w", Elements: 1000, ElemBytes: 16,
+		Map:     perfmodel.PhaseCost{CyclesPerElem: 10},
+		Combine: perfmodel.PhaseCost{CyclesPerElem: 5}}
+	if _, err := SimulateRAMRDES(m, w, Config{Mappers: 0, Combiners: 1}); err == nil {
+		t.Fatal("zero mappers accepted")
+	}
+}
+
+// TestDESSmallerThanWorkers: fewer elements than workers must still
+// terminate and drain cleanly.
+func TestDESSmallerThanWorkers(t *testing.T) {
+	m := topology.HaswellServer()
+	w := Workload{Name: "tiny", Elements: 7, ElemBytes: 16,
+		Map:     perfmodel.PhaseCost{CyclesPerElem: 10},
+		Combine: perfmodel.PhaseCost{CyclesPerElem: 5}}
+	est, err := SimulateRAMRDES(m, w, desConfig(56, 1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+// TestDESBatchOne: the smallest granule exercises the block/wake protocol
+// hardest.
+func TestDESBatchOne(t *testing.T) {
+	m := topology.HaswellServer()
+	w, err := WorkloadFor(m, "HG", container.KindFixedArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Elements = 50_000 // keep the event count in check at granule 1
+	one, err := SimulateRAMRDES(m, w, desConfig(56, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := SimulateRAMRDES(m, w, desConfig(56, 1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cycles <= batched.Cycles {
+		t.Fatalf("batch=1 should be slower in the DES too: %.3g vs %.3g", one.Cycles, batched.Cycles)
+	}
+}

@@ -1,0 +1,350 @@
+package simarch
+
+import (
+	"testing"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/perfmodel"
+	"ramr/internal/topology"
+)
+
+func defaultKind(app string) container.Kind {
+	if app == "WC" {
+		return container.KindHash
+	}
+	return container.KindFixedArray
+}
+
+func stressKind(app string) container.Kind {
+	if app == "MM" || app == "PCA" {
+		return container.KindHash
+	}
+	return container.KindFixedHash
+}
+
+var ratios = []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+func bestRAMR(t *testing.T, m *topology.Machine, w Workload, threads, batch int, pin mr.PinPolicy) Estimate {
+	t.Helper()
+	var best Estimate
+	for i, r := range ratios {
+		c := threads / (r + 1)
+		if c < 1 {
+			c = 1
+		}
+		est, err := SimulateRAMR(m, w, Config{Mappers: threads - c, Combiners: c, Pin: pin, BatchSize: batch, QueueCap: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || est.Cycles < best.Cycles {
+			best = est
+		}
+	}
+	return best
+}
+
+func speedup(t *testing.T, m *topology.Machine, app string, kind container.Kind, threads, batch int) float64 {
+	t.Helper()
+	w, err := WorkloadFor(m, app, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := bestRAMR(t, m, w, threads, batch, mr.PinRAMR)
+	half := threads / 2
+	ph, err := SimulatePhoenix(m, w, Config{Mappers: half, Combiners: threads - half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ph.Cycles / ra.Cycles
+}
+
+// TestFig8aShape pins the Haswell default-container outcome: KM and MM
+// profit, PCA performs similarly, HG and LR are strongly outperformed
+// (paper: 3x and 3.8x slowdowns), in agreement with the §IV-E analysis.
+func TestFig8aShape(t *testing.T) {
+	m := topology.HaswellServer()
+	s := map[string]float64{}
+	for _, app := range []string{"HG", "KM", "LR", "MM", "PCA", "WC"} {
+		s[app] = speedup(t, m, app, defaultKind(app), 56, 1000)
+	}
+	if s["KM"] <= 1.0 {
+		t.Errorf("KM should profit from RAMR, speedup %.2f", s["KM"])
+	}
+	if s["MM"] <= 1.0 {
+		t.Errorf("MM should profit from RAMR, speedup %.2f", s["MM"])
+	}
+	if s["PCA"] < 0.7 || s["PCA"] > 1.2 {
+		t.Errorf("PCA should perform similarly to Phoenix++, speedup %.2f", s["PCA"])
+	}
+	if s["HG"] > 0.6 {
+		t.Errorf("HG (light) should lose clearly, speedup %.2f", s["HG"])
+	}
+	if s["LR"] > 0.6 {
+		t.Errorf("LR (light) should lose clearly, speedup %.2f", s["LR"])
+	}
+	// The light apps lose harder than everything else.
+	for _, app := range []string{"KM", "MM", "PCA", "WC"} {
+		if s["LR"] >= s[app] {
+			t.Errorf("LR should be the worst case, but %.2f >= %s %.2f", s["LR"], app, s[app])
+		}
+	}
+}
+
+// TestFig9bShape pins the Xeon Phi memory-intensive outcome: RAMR is
+// faster in 5 of 6 applications with a pronounced maximum speedup (paper:
+// 5.34x max, 2.6x average).
+func TestFig9bShape(t *testing.T) {
+	m := topology.XeonPhi()
+	wins, max := 0, 0.0
+	for _, app := range []string{"HG", "KM", "LR", "MM", "PCA", "WC"} {
+		sp := speedup(t, m, app, stressKind(app), 228, 200)
+		if sp > 1 {
+			wins++
+		}
+		if sp > max {
+			max = sp
+		}
+	}
+	if wins < 5 {
+		t.Errorf("RAMR should win at least 5/6 on Phi with hash containers, won %d", wins)
+	}
+	if max < 2 {
+		t.Errorf("max speedup should be pronounced, got %.2f", max)
+	}
+}
+
+// TestFig8bImproves: switching to memory-intensive containers improves
+// RAMR's relative standing for the fixed-hash apps on Haswell (paper 8a
+// vs 8b).
+func TestFig8bImproves(t *testing.T) {
+	m := topology.HaswellServer()
+	for _, app := range []string{"HG", "LR", "MM"} {
+		def := speedup(t, m, app, defaultKind(app), 56, 1000)
+		str := speedup(t, m, app, stressKind(app), 56, 1000)
+		if str <= def {
+			t.Errorf("%s: stress containers should improve RAMR's standing (%.2f -> %.2f)", app, def, str)
+		}
+	}
+}
+
+// TestFig5Shape: the RAMR pinning policy beats both baselines on the
+// Haswell model for every app.
+func TestFig5Shape(t *testing.T) {
+	m := topology.HaswellServer()
+	for _, app := range []string{"HG", "KM", "LR", "MM", "PCA", "WC"} {
+		w, err := WorkloadFor(m, app, defaultKind(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := map[mr.PinPolicy]float64{}
+		for _, pin := range []mr.PinPolicy{mr.PinRAMR, mr.PinRoundRobin, mr.PinNone} {
+			est, err := SimulateRAMR(m, w, Config{Mappers: 28, Combiners: 28, Pin: pin, BatchSize: 1000, QueueCap: 5000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[pin] = est.Cycles
+		}
+		if times[mr.PinRAMR] >= times[mr.PinRoundRobin] {
+			t.Errorf("%s: RAMR pinning not faster than RR", app)
+		}
+		if times[mr.PinRAMR] >= times[mr.PinNone] {
+			t.Errorf("%s: RAMR pinning not faster than the OS scheduler", app)
+		}
+	}
+}
+
+// TestFig5PhiSmall: on the ring-interconnected Phi, pinning gains are
+// marginal (paper: 1-3%).
+func TestFig5PhiSmall(t *testing.T) {
+	m := topology.XeonPhi()
+	w, err := WorkloadFor(m, "HG", container.KindFixedArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pin mr.PinPolicy) float64 {
+		est, err := SimulateRAMR(m, w, Config{Mappers: 114, Combiners: 114, Pin: pin, BatchSize: 200, QueueCap: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Cycles
+	}
+	gain := run(mr.PinRoundRobin) / run(mr.PinRAMR)
+	if gain < 1.0 || gain > 1.15 {
+		t.Errorf("Phi pinning gain should be small but positive, got %.3f", gain)
+	}
+}
+
+// TestFig6Shape: batching beats single-element consume for the
+// combine-bound apps, with larger gains on the in-order Phi.
+func TestFig6Shape(t *testing.T) {
+	gain := func(m *topology.Machine, threads, batch int) float64 {
+		w, err := WorkloadFor(m, "WC", container.KindHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := threads / 2
+		one, err := SimulateRAMR(m, w, Config{Mappers: half, Combiners: half, Pin: mr.PinRAMR, BatchSize: 1, QueueCap: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuned, err := SimulateRAMR(m, w, Config{Mappers: half, Combiners: half, Pin: mr.PinRAMR, BatchSize: batch, QueueCap: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return one.Cycles / tuned.Cycles
+	}
+	hwl := gain(topology.HaswellServer(), 56, 1000)
+	phi := gain(topology.XeonPhi(), 228, 200)
+	if hwl <= 1.2 {
+		t.Errorf("Haswell batching gain too small: %.2f", hwl)
+	}
+	if phi <= hwl {
+		t.Errorf("Phi should gain more from batching: phi %.2f vs hwl %.2f", phi, hwl)
+	}
+}
+
+// TestFig7UShape: the batch-size curve has an interior optimum — both
+// batch=1 and batch=5000 are worse than the best setting.
+func TestFig7UShape(t *testing.T) {
+	for _, tc := range []struct {
+		m       *topology.Machine
+		threads int
+	}{{topology.HaswellServer(), 56}, {topology.XeonPhi(), 228}} {
+		w, err := WorkloadFor(tc.m, "WC", container.KindHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := tc.threads / 2
+		cost := func(batch int) float64 {
+			est, err := SimulateRAMR(tc.m, w, Config{Mappers: half, Combiners: half, Pin: mr.PinRAMR, BatchSize: batch, QueueCap: 5000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est.Cycles
+		}
+		best := cost(1)
+		for _, b := range []int{20, 100, 500, 1000, 2000} {
+			if c := cost(b); c < best {
+				best = c
+			}
+		}
+		if cost(1) <= best*1.05 {
+			t.Errorf("%s: batch=1 should be clearly worse than the optimum", tc.m.Name)
+		}
+		if cost(5000) <= best {
+			t.Errorf("%s: batch=5000 should not be optimal (cache spill)", tc.m.Name)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := topology.HaswellServer()
+	w := Workload{Name: "w", Elements: 100, ElemBytes: 16,
+		Map:     perfmodel.PhaseCost{CyclesPerElem: 10},
+		Combine: perfmodel.PhaseCost{CyclesPerElem: 5}}
+	ok := Config{Mappers: 2, Combiners: 2, BatchSize: 10, QueueCap: 100}
+	if _, err := SimulateRAMR(m, w, ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		w Workload
+		c Config
+	}{
+		{Workload{}, ok},
+		{w, Config{Mappers: 0, Combiners: 1}},
+		{w, Config{Mappers: 1, Combiners: 0}},
+		{Workload{Name: "x", Elements: 10, ElemBytes: 16}, ok}, // zero costs
+	}
+	for i, tc := range bad {
+		if _, err := SimulateRAMR(m, tc.w, tc.c); err == nil {
+			t.Errorf("bad case %d accepted by SimulateRAMR", i)
+		}
+		if _, err := SimulatePhoenix(m, tc.w, tc.c); err == nil {
+			t.Errorf("bad case %d accepted by SimulatePhoenix", i)
+		}
+	}
+	if _, err := SimulateRAMR(nil, w, ok); err == nil {
+		t.Error("nil machine accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m := topology.HaswellServer()
+	w, err := WorkloadFor(m, "KM", container.KindFixedArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mappers: 28, Combiners: 28, Pin: mr.PinRAMR, BatchSize: 1000, QueueCap: 5000}
+	a, _ := SimulateRAMR(m, w, cfg)
+	b, _ := SimulateRAMR(m, w, cfg)
+	if a != b {
+		t.Fatalf("not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSMTComplementarity: a compute-bound thread loses less speed next to
+// a memory-bound sibling than next to another compute-bound one.
+func TestSMTComplementarity(t *testing.T) {
+	m := topology.HaswellServer()
+	compute := thread{compFrac: 0.95, memFrac: 0.05}
+	memory := thread{compFrac: 0.1, memFrac: 0.9}
+	both := smtSpeeds(m, []thread{compute, compute})
+	mixed := smtSpeeds(m, []thread{compute, memory})
+	if mixed[0] <= both[0] {
+		t.Fatalf("complementary sibling should cost less: %.3f vs %.3f", mixed[0], both[0])
+	}
+	solo := smtSpeeds(m, []thread{compute})
+	if solo[0] != 1 {
+		t.Fatalf("solo Haswell thread speed = %.3f, want 1", solo[0])
+	}
+	phiSolo := smtSpeeds(topology.XeonPhi(), []thread{compute})
+	if phiSolo[0] != 0.5 {
+		t.Fatalf("solo Phi thread speed = %.3f, want 0.5 (in-order)", phiSolo[0])
+	}
+}
+
+// TestBatchTransferSpill: growing the batch past the shared-cache share
+// raises the transfer latency level.
+func TestBatchTransferSpill(t *testing.T) {
+	m := topology.HaswellServer()
+	// cpus 0 and 28 share L1/L2 (32K/256K); 16-byte elements.
+	small := batchTransferLatency(m, 0, 28, 100, 16)    // 1.6KB, fits L1 share
+	large := batchTransferLatency(m, 0, 28, 100000, 16) // 1.6MB, beyond L2 share
+	if small >= large {
+		t.Fatalf("spill not modeled: small %.0f, large %.0f", small, large)
+	}
+}
+
+func TestWorkloadForUnknownApp(t *testing.T) {
+	if _, err := WorkloadFor(topology.HaswellServer(), "XX", container.KindHash); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestEstimateDiagnostics: map-bound vs combine-bound classification
+// follows the workload's cost balance.
+func TestEstimateDiagnostics(t *testing.T) {
+	m := topology.HaswellServer()
+	mapHeavy := Workload{Name: "m", Elements: 100_000, ElemBytes: 16,
+		Map:     perfmodel.PhaseCost{CyclesPerElem: 500},
+		Combine: perfmodel.PhaseCost{CyclesPerElem: 2}}
+	combHeavy := Workload{Name: "c", Elements: 100_000, ElemBytes: 16,
+		Map:     perfmodel.PhaseCost{CyclesPerElem: 2},
+		Combine: perfmodel.PhaseCost{CyclesPerElem: 500}}
+	cfg := Config{Mappers: 28, Combiners: 28, Pin: mr.PinRAMR, BatchSize: 1000, QueueCap: 5000}
+	a, err := SimulateRAMR(m, mapHeavy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateRAMR(m, combHeavy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MapBound {
+		t.Fatal("map-heavy workload should be map-bound")
+	}
+	if b.MapBound {
+		t.Fatal("combine-heavy workload should be combine-bound")
+	}
+}

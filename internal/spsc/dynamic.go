@@ -1,0 +1,150 @@
+package spsc
+
+import "sync/atomic"
+
+// DynamicQueue is the road not taken: an unbounded SPSC queue built from a
+// linked list of fixed segments, growing by allocation whenever the
+// producer outruns the consumer. The paper rejects this design for the
+// runtime's hot path — "a fixed-size queue has been favored instead of a
+// dynamically resizable queue because of the limited scalability and
+// performance penalty imposed by dynamic memory allocators" (§III-A,
+// citing Hoard) — and the BenchmarkAblationQueueGrowth benchmark lets you
+// reproduce that comparison against the fixed ring.
+//
+// Same contract as Queue: exactly one producer, exactly one consumer.
+type DynamicQueue[T any] struct {
+	segSize int
+
+	_    pad
+	head *dynSegment[T] // consumer side
+	hIdx int
+	_    pad
+	tail *dynSegment[T] // producer side
+	tIdx int
+	_    pad
+	done atomic.Bool
+
+	allocs uint64
+}
+
+// dynSegment is one fixed block of the linked queue.
+type dynSegment[T any] struct {
+	buf  []T
+	used atomic.Int64 // producer's publish cursor within the segment
+	next atomic.Pointer[dynSegment[T]]
+}
+
+// NewDynamic returns an unbounded SPSC queue with the given segment size.
+func NewDynamic[T any](segSize int) *DynamicQueue[T] {
+	if segSize < 1 {
+		segSize = 1024
+	}
+	seg := &dynSegment[T]{buf: make([]T, segSize)}
+	return &DynamicQueue[T]{segSize: segSize, head: seg, tail: seg}
+}
+
+// Push appends v, allocating a new segment when the current one fills.
+// Producer side; never blocks.
+func (q *DynamicQueue[T]) Push(v T) {
+	if q.tIdx == q.segSize {
+		next := &dynSegment[T]{buf: make([]T, q.segSize)}
+		q.allocs++
+		q.tail.next.Store(next)
+		q.tail = next
+		q.tIdx = 0
+	}
+	q.tail.buf[q.tIdx] = v
+	q.tIdx++
+	q.tail.used.Store(int64(q.tIdx))
+}
+
+// Close marks the end of the stream. Producer side.
+func (q *DynamicQueue[T]) Close() { q.done.Store(true) }
+
+// TryPop removes and returns the oldest element. Consumer side.
+func (q *DynamicQueue[T]) TryPop() (T, bool) {
+	var zero T
+	for {
+		if int64(q.hIdx) < q.head.used.Load() {
+			v := q.head.buf[q.hIdx]
+			q.head.buf[q.hIdx] = zero
+			q.hIdx++
+			return v, true
+		}
+		if q.hIdx == q.segSize {
+			next := q.head.next.Load()
+			if next == nil {
+				return zero, false
+			}
+			q.head = next
+			q.hIdx = 0
+			continue
+		}
+		return zero, false
+	}
+}
+
+// ConsumeBatch applies f to up to batch buffered elements; force has no
+// effect (the dynamic queue never withholds partial batches) and exists
+// for signature symmetry with Queue.
+func (q *DynamicQueue[T]) ConsumeBatch(batch int, _ bool, f func([]T)) int {
+	if batch <= 0 {
+		batch = 1
+	}
+	consumed := 0
+	for consumed < batch {
+		avail := int(q.head.used.Load()) - q.hIdx
+		if avail == 0 {
+			if q.hIdx == q.segSize {
+				next := q.head.next.Load()
+				if next == nil {
+					break
+				}
+				q.head = next
+				q.hIdx = 0
+				continue
+			}
+			break
+		}
+		take := batch - consumed
+		if take > avail {
+			take = avail
+		}
+		seg := q.head.buf[q.hIdx : q.hIdx+take]
+		f(seg)
+		var zero T
+		for i := range seg {
+			seg[i] = zero
+		}
+		q.hIdx += take
+		consumed += take
+	}
+	return consumed
+}
+
+// Drained reports whether the producer closed the queue and every element
+// has been consumed.
+func (q *DynamicQueue[T]) Drained() bool {
+	if !q.done.Load() {
+		return false
+	}
+	if int64(q.hIdx) < q.head.used.Load() {
+		return false
+	}
+	// The consumer may still be parked on a finished segment.
+	seg := q.head
+	for {
+		next := seg.next.Load()
+		if next == nil {
+			return true
+		}
+		if next.used.Load() > 0 {
+			return false
+		}
+		seg = next
+	}
+}
+
+// Allocs returns how many extra segments the producer allocated — the
+// dynamic-allocator pressure the paper's fixed ring avoids by design.
+func (q *DynamicQueue[T]) Allocs() uint64 { return q.allocs }

@@ -1,0 +1,133 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestDynamicFIFO(t *testing.T) {
+	q := NewDynamic[int](4)
+	for i := 0; i < 23; i++ { // spans several segments
+		q.Push(i)
+	}
+	if q.Allocs() == 0 {
+		t.Fatal("growth expected beyond one segment")
+	}
+	for i := 0; i < 23; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop on empty dynamic queue succeeded")
+	}
+}
+
+func TestDynamicConsumeBatchAcrossSegments(t *testing.T) {
+	q := NewDynamic[int](8)
+	for i := 0; i < 30; i++ {
+		q.Push(i)
+	}
+	var got []int
+	n := q.ConsumeBatch(30, true, func(b []int) { got = append(got, b...) })
+	if n != 30 {
+		t.Fatalf("consumed %d", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDynamicDrained(t *testing.T) {
+	q := NewDynamic[int](4)
+	q.Push(1)
+	if q.Drained() {
+		t.Fatal("drained before close")
+	}
+	q.Close()
+	if q.Drained() {
+		t.Fatal("drained with buffered element")
+	}
+	q.TryPop()
+	if !q.Drained() {
+		t.Fatal("not drained after full consumption")
+	}
+}
+
+func TestDynamicDrainedAcrossSegmentBoundary(t *testing.T) {
+	q := NewDynamic[int](2)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	for i := 0; i < 5; i++ {
+		if q.Drained() {
+			t.Fatalf("drained with %d elements left", 5-i)
+		}
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if !q.Drained() {
+		t.Fatal("not drained at the end")
+	}
+}
+
+func TestDynamicConcurrent(t *testing.T) {
+	q := NewDynamic[int](64)
+	const n = 20_000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	fail := make(chan string, 1)
+	go func() {
+		defer wg.Done()
+		expect := 0
+		for !q.Drained() {
+			c := q.ConsumeBatch(32, true, func(b []int) {
+				for _, v := range b {
+					if v != expect {
+						select {
+						case fail <- "order":
+						default:
+						}
+					}
+					expect++
+				}
+			})
+			if c == 0 {
+				runtime.Gosched()
+			}
+		}
+		if expect != n {
+			select {
+			case fail <- "loss":
+			default:
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestDynamicDefaults(t *testing.T) {
+	q := NewDynamic[int](0) // clamps to a sane segment size
+	q.Push(5)
+	if v, ok := q.TryPop(); !ok || v != 5 {
+		t.Fatal("default segment size unusable")
+	}
+	if n := q.ConsumeBatch(-1, false, func([]int) {}); n != 0 {
+		t.Fatal("negative batch should clamp, and queue is empty")
+	}
+}

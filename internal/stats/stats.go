@@ -1,0 +1,124 @@
+// Package stats provides the small statistical helpers used by the RAMR
+// benchmark harness: means, standard deviations, speedups and geometric
+// means, plus a deterministic splittable RNG so every experiment is
+// reproducible run-to-run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator).
+// It returns 0 when fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Speedup returns baseline/alternative: values above 1 mean the alternative
+// is faster. A zero alternative yields +Inf, matching the usual convention.
+func Speedup(baseline, alternative float64) float64 {
+	if alternative == 0 {
+		return math.Inf(1)
+	}
+	return baseline / alternative
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// rejected with a panic because they indicate a harness bug (negative or
+// zero run times), never a legitimate measurement.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// NormalizeTo divides every element of xs by base, returning a new slice.
+// It is used by the sensitivity plots that normalize curves to their first
+// data point.
+func NormalizeTo(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Rng returns a deterministic *rand.Rand derived from a root seed and a
+// stream label, so independent experiment stages draw from independent but
+// reproducible streams.
+func Rng(seed int64, stream string) *rand.Rand {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(stream); i++ {
+		h ^= int64(stream[i])
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}

@@ -1,0 +1,21 @@
+package stats
+
+import "math/rand"
+
+// Zipf draws indices in [0, n) with a Zipfian frequency distribution,
+// used by the synthetic corpus generators (word frequencies in natural
+// text are famously Zipf-distributed).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s (> 1).
+func NewZipf(r *rand.Rand, s float64, n uint64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	return &Zipf{z: rand.NewZipf(r, s, 1, n-1)}
+}
+
+// Next draws the next index.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }

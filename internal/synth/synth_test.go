@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"testing"
+
+	"ramr/internal/mr"
+	"ramr/internal/topology"
+	"ramr/internal/workloads"
+)
+
+func cfg(ratio int) mr.Config {
+	c := mr.DefaultConfig()
+	c.Mappers = 3
+	c.Combiners = 0
+	c.Ratio = ratio
+	c.QueueCapacity = 256
+	c.BatchSize = 32
+	c.Machine = topology.Flat(4)
+	c.Pin = mr.PinNone
+	return c
+}
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Elements = 5_000
+	p.Keys = 64
+	p.MapKernel = Kernel{CPU, 5}
+	p.CombineKernel = Kernel{Memory, 3}
+	return p
+}
+
+// TestEnginesAgree: the synthetic job's uint64-sum algebra is exactly
+// associative/commutative, so digests must match across engines, ratios
+// and kernel mixes.
+func TestEnginesAgree(t *testing.T) {
+	for _, mix := range []struct{ m, c Kernel }{
+		{Kernel{CPU, 5}, Kernel{Memory, 3}},
+		{Kernel{Memory, 3}, Kernel{CPU, 5}},
+		{Kernel{CPU, 1}, Kernel{CPU, 1}},
+	} {
+		p := smallParams()
+		p.MapKernel, p.CombineKernel = mix.m, mix.c
+		job := NewJob(p, 7)
+		ra, err := job.Run(workloads.EngineRAMR, cfg(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, err := job.Run(workloads.EnginePhoenix, cfg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Digest != ph.Digest || ra.Pairs != ph.Pairs {
+			t.Fatalf("mix %+v: engines disagree (%x vs %x)", mix, ra.Digest, ph.Digest)
+		}
+		if ra.Pairs != p.Keys {
+			t.Fatalf("pairs = %d, want %d", ra.Pairs, p.Keys)
+		}
+	}
+}
+
+func TestDeterministicAcrossRatios(t *testing.T) {
+	p := smallParams()
+	job := NewJob(p, 11)
+	var digest uint64
+	for _, ratio := range []int{1, 2, 3} {
+		info, err := job.Run(workloads.EngineRAMR, cfg(ratio))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest == 0 {
+			digest = info.Digest
+		} else if info.Digest != digest {
+			t.Fatalf("ratio %d changes the result", ratio)
+		}
+	}
+}
+
+func TestSeedChangesResult(t *testing.T) {
+	p := smallParams()
+	a, err := NewJob(p, 1).Run(workloads.EngineRAMR, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJob(p, 2).Run(workloads.EngineRAMR, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestKernelRunConsumesIntensity(t *testing.T) {
+	// Zero intensity must be safe and fast; higher intensity changes
+	// the CPU kernel's output token.
+	k0 := Kernel{CPU, 0}
+	_ = k0.Run(1)
+	// The CPU kernel's trig/exp map converges to a fixed point, so its
+	// *output* may stabilize; assert only that it runs and that seeds
+	// steer it before convergence.
+	k1 := Kernel{CPU, 2}
+	if k1.Run(5) == k1.Run(50) {
+		t.Fatal("cpu kernel ignores seed")
+	}
+	m := Kernel{Memory, 4}
+	if m.Run(3) == m.Run(4) {
+		t.Fatal("memory kernel ignores seed")
+	}
+}
+
+func TestParamsDefaultsClamped(t *testing.T) {
+	p := smallParams()
+	p.SplitElements = 0
+	p.Keys = 0
+	job := NewJob(p, 3)
+	info, err := job.Run(workloads.EngineRAMR, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pairs != 1 {
+		t.Fatalf("keys clamped to 1, got %d pairs", info.Pairs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "cpu" || Memory.String() != "memory" {
+		t.Fatal("kind names")
+	}
+}

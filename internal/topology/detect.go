@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// phys identifies a physical core by (socket, core-id) pair as sysfs
+// reports it.
+type phys struct{ socket, core int }
+
+// Detect builds a Machine description of the current host from Linux sysfs
+// (/sys/devices/system/cpu). Detection is best-effort: on non-Linux hosts,
+// inside restricted containers, or on irregular topologies (heterogeneous
+// core counts per socket) it falls back to Flat(runtime.NumCPU()).
+//
+// The fallback is deliberate rather than an error — the runtime degrades to
+// topology-oblivious pinning instead of refusing to run, mirroring how the
+// paper's library behaves when setaffinity is unavailable.
+func Detect() *Machine {
+	m, err := detectSysfs("/sys/devices/system/cpu")
+	if err != nil {
+		return Flat(runtime.NumCPU())
+	}
+	return m
+}
+
+// detectSysfs parses the topology directory rooted at base. Split out from
+// Detect so tests can point it at a fixture tree.
+func detectSysfs(base string) (*Machine, error) {
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, fmt.Errorf("topology: read %s: %w", base, err)
+	}
+	cpuPhys := map[int]phys{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		id, err := strconv.Atoi(name[3:])
+		if err != nil {
+			continue // cpufreq, cpuidle, ...
+		}
+		sock, err := readIntFile(base + "/" + name + "/topology/physical_package_id")
+		if err != nil {
+			return nil, err
+		}
+		core, err := readIntFile(base + "/" + name + "/topology/core_id")
+		if err != nil {
+			return nil, err
+		}
+		cpuPhys[id] = phys{sock, core}
+	}
+	if len(cpuPhys) == 0 {
+		return nil, fmt.Errorf("topology: no cpus under %s", base)
+	}
+
+	sockets := map[int]bool{}
+	coreThreads := map[phys]int{}
+	coresPerSocket := map[int]map[int]bool{}
+	for _, p := range cpuPhys {
+		sockets[p.socket] = true
+		coreThreads[p]++
+		if coresPerSocket[p.socket] == nil {
+			coresPerSocket[p.socket] = map[int]bool{}
+		}
+		coresPerSocket[p.socket][p.core] = true
+	}
+
+	// Require a regular machine: equal cores per socket and equal
+	// threads per core, or the rectangular Machine model cannot
+	// represent it.
+	var cps, tpc int
+	for _, cores := range coresPerSocket {
+		if cps == 0 {
+			cps = len(cores)
+		} else if cps != len(cores) {
+			return nil, fmt.Errorf("topology: irregular cores-per-socket")
+		}
+	}
+	for _, t := range coreThreads {
+		if tpc == 0 {
+			tpc = t
+		} else if tpc != t {
+			return nil, fmt.Errorf("topology: irregular threads-per-core")
+		}
+	}
+
+	enum, err := classifyEnumeration(cpuPhys, tpc)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		Name:           "detected-host",
+		Sockets:        len(sockets),
+		CoresPerSocket: cps,
+		ThreadsPerCore: tpc,
+		Enum:           enum,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 12},
+			{Level: 3, SizeBytes: 16 << 20, LineBytes: 64, Assoc: 16, Scope: ScopePerSocket, LatencyCycles: 40},
+		},
+		MemLatencyCycles:         220,
+		CrossSocketPenaltyCycles: 100,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// classifyEnumeration decides whether the host numbers SMT siblings
+// consecutively (EnumCompact) or lists all first threads before any sibling
+// (EnumSMTLast) by checking whether cpu0 and cpu1 share a physical core.
+func classifyEnumeration(cpuPhys map[int]phys, tpc int) (Enumeration, error) {
+	if tpc == 1 {
+		return EnumCompact, nil
+	}
+	ids := make([]int, 0, len(cpuPhys))
+	for id := range cpuPhys {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) < 2 {
+		return EnumCompact, nil
+	}
+	a, b := cpuPhys[ids[0]], cpuPhys[ids[1]]
+	if a == b {
+		return EnumCompact, nil
+	}
+	return EnumSMTLast, nil
+}
+
+func readIntFile(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("topology: %w", err)
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("topology: parse %s: %w", path, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFixture builds a fake sysfs cpu tree.
+func writeFixture(t *testing.T, dir string, cpus []phys) {
+	t.Helper()
+	for id, p := range cpus {
+		base := filepath.Join(dir, fmt.Sprintf("cpu%d", id), "topology")
+		if err := os.MkdirAll(base, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(base, "physical_package_id"),
+			[]byte(fmt.Sprintf("%d\n", p.socket)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(base, "core_id"),
+			[]byte(fmt.Sprintf("%d\n", p.core)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Distractor entries detection must skip.
+	if err := os.MkdirAll(filepath.Join(dir, "cpufreq"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectSysfsSMTLast(t *testing.T) {
+	dir := t.TempDir()
+	// 1 socket, 2 cores, 2 threads, SMT-last: cpu0/1 = cores 0/1,
+	// cpu2/3 = their siblings.
+	writeFixture(t, dir, []phys{{0, 0}, {0, 1}, {0, 0}, {0, 1}})
+	m, err := detectSysfs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sockets != 1 || m.CoresPerSocket != 2 || m.ThreadsPerCore != 2 {
+		t.Fatalf("detected %s", m)
+	}
+	if m.Enum != EnumSMTLast {
+		t.Fatalf("enumeration = %v, want SMT-last", m.Enum)
+	}
+}
+
+func TestDetectSysfsCompact(t *testing.T) {
+	dir := t.TempDir()
+	// Compact: cpu0/1 share core 0.
+	writeFixture(t, dir, []phys{{0, 0}, {0, 0}, {0, 1}, {0, 1}})
+	m, err := detectSysfs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Enum != EnumCompact {
+		t.Fatalf("enumeration = %v, want compact", m.Enum)
+	}
+}
+
+func TestDetectSysfsIrregularRejected(t *testing.T) {
+	dir := t.TempDir()
+	// Socket 0 has two cores, socket 1 only one.
+	writeFixture(t, dir, []phys{{0, 0}, {0, 1}, {1, 0}})
+	if _, err := detectSysfs(dir); err == nil {
+		t.Fatal("irregular topology should be rejected")
+	}
+}
+
+func TestDetectSysfsMissingDir(t *testing.T) {
+	if _, err := detectSysfs(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}
+
+func TestDetectNeverFails(t *testing.T) {
+	m := Detect()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Detect returned invalid machine: %v", err)
+	}
+	if m.NumCPUs() < 1 {
+		t.Fatal("no cpus detected")
+	}
+}

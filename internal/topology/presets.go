@@ -1,0 +1,99 @@
+package topology
+
+// HaswellServer returns the paper's multi-core evaluation platform: a
+// dual-socket Intel Haswell server with 14 cores per socket, 2-way
+// hyper-threading and 35 MB of L3 per socket (§IV-A). Each socket is one
+// NUMA node; logical CPUs are numbered in the usual Linux SMT-last order,
+// so cpus 0-27 are the 28 physical cores and 28-55 their siblings.
+func HaswellServer() *Machine {
+	return &Machine{
+		Name:           "haswell-server",
+		Sockets:        2,
+		CoresPerSocket: 14,
+		ThreadsPerCore: 2,
+		Enum:           EnumSMTLast,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 12},
+			{Level: 3, SizeBytes: 35 << 20, LineBytes: 64, Assoc: 20, Scope: ScopePerSocket, LatencyCycles: 40},
+		},
+		MemLatencyCycles:         220,
+		CrossSocketPenaltyCycles: 110,
+	}
+}
+
+// XeonPhi returns the paper's many-core evaluation platform: a Xeon Phi
+// (Knights Corner) co-processor with 57 in-order cores at 1.1 GHz, 4-way
+// SMT and 28.5 MB of aggregate L2 (§IV-A). A bidirectional ring makes the
+// per-core L2 slices behave as one universally shared L2, which is why the
+// paper measures only 1-3% gain from pinning there: every core is roughly
+// equidistant. We model that as a ScopeGlobal L2.
+func XeonPhi() *Machine {
+	return &Machine{
+		Name:           "xeon-phi",
+		Sockets:        1,
+		CoresPerSocket: 57,
+		ThreadsPerCore: 4,
+		Enum:           EnumCompact,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 3},
+			// 512 KB per-core slices, globally coherent over the ring.
+			{Level: 2, SizeBytes: 28<<20 + 512<<10, LineBytes: 64, Assoc: 8, Scope: ScopeGlobal, LatencyCycles: 24},
+		},
+		MemLatencyCycles:         300,
+		CrossSocketPenaltyCycles: 0,
+	}
+}
+
+// Fig3Example returns the didactic machine of the paper's Fig. 3: two NUMA
+// nodes, four cores per node, 2-way hyper-threading, SMT-last numbering.
+// With a 1:1 mapper/combiner ratio the remapped pairs (2i, 2i+1) must share
+// a physical core; the unit tests pin that property to the figure.
+func Fig3Example() *Machine {
+	return &Machine{
+		Name:           "fig3-example",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		Enum:           EnumSMTLast,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 12},
+			{Level: 3, SizeBytes: 8 << 20, LineBytes: 64, Assoc: 16, Scope: ScopePerSocket, LatencyCycles: 40},
+		},
+		MemLatencyCycles:         200,
+		CrossSocketPenaltyCycles: 100,
+	}
+}
+
+// Flat returns a degenerate single-socket machine with n independent cores
+// and no SMT — the safe fallback when host detection fails and a reasonable
+// model for small containerized CI hosts.
+func Flat(n int) *Machine {
+	if n < 1 {
+		n = 1
+	}
+	return &Machine{
+		Name:           "flat",
+		Sockets:        1,
+		CoresPerSocket: n,
+		ThreadsPerCore: 1,
+		Enum:           EnumCompact,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 1 << 20, LineBytes: 64, Assoc: 16, Scope: ScopePerCore, LatencyCycles: 14},
+			{Level: 3, SizeBytes: 16 << 20, LineBytes: 64, Assoc: 16, Scope: ScopePerSocket, LatencyCycles: 42},
+		},
+		MemLatencyCycles:         200,
+		CrossSocketPenaltyCycles: 0,
+	}
+}
+
+// Presets lists every built-in machine by name for CLI lookup.
+func Presets() map[string]func() *Machine {
+	return map[string]func() *Machine{
+		"haswell-server": HaswellServer,
+		"xeon-phi":       XeonPhi,
+		"fig3-example":   Fig3Example,
+	}
+}

@@ -1,0 +1,354 @@
+// Package topology models the processor topology that the RAMR runtime is
+// resource-aware of: logical CPUs, SMT siblings, physical cores, sockets /
+// NUMA nodes and the cache-sharing domains between them.
+//
+// The paper (§III-B, Fig. 3) derives its contention-aware pinning policy
+// purely from this information: given the mapper-to-combiner ratio, threads
+// are renumbered so that co-operating threads land on logical CPUs that
+// share the closest possible cache level. Everything in this package is a
+// pure function of the machine description, so the same policy code runs
+// unchanged against the paper's Haswell and Xeon Phi presets, against the
+// detected host, or against a synthetic machine inside the discrete-event
+// simulator.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scope identifies the sharing domain of a cache level.
+type Scope int
+
+const (
+	// ScopePerThread marks a resource private to one hardware thread.
+	ScopePerThread Scope = iota
+	// ScopePerCore marks a cache shared by the SMT siblings of one core
+	// (L1/L2 on Haswell, L1 on Xeon Phi).
+	ScopePerCore
+	// ScopePerSocket marks a cache shared by all cores of one socket
+	// (L3 on Haswell).
+	ScopePerSocket
+	// ScopeGlobal marks a cache shared machine-wide (the Xeon Phi ring
+	// of L2 slices behaves as a universally shared last-level cache).
+	ScopeGlobal
+)
+
+// String returns the conventional name of the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopePerThread:
+		return "per-thread"
+	case ScopePerCore:
+		return "per-core"
+	case ScopePerSocket:
+		return "per-socket"
+	case ScopeGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// CacheLevel describes one level of the cache hierarchy.
+type CacheLevel struct {
+	// Level is the conventional cache level number (1, 2, 3).
+	Level int
+	// SizeBytes is the capacity of one instance of this cache.
+	SizeBytes int
+	// LineBytes is the cache line size (64 on both evaluation platforms).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// Scope is the sharing domain of one instance.
+	Scope Scope
+	// LatencyCycles is the approximate load-to-use latency, used by the
+	// cache simulator and the discrete-event cost model.
+	LatencyCycles int
+}
+
+// Enumeration selects how the operating system numbers logical CPUs.
+type Enumeration int
+
+const (
+	// EnumSMTLast numbers all first hardware threads of every core
+	// before any sibling threads (the common Linux numbering on Intel
+	// servers: cpu 0..N-1 are distinct cores, cpu N.. are their
+	// hyper-thread siblings). This is the "original mapping" on the
+	// left of the paper's Fig. 3.
+	EnumSMTLast Enumeration = iota
+	// EnumCompact numbers the SMT siblings of a core consecutively
+	// (cpu 4c..4c+3 are the four threads of core c on Xeon Phi).
+	EnumCompact
+)
+
+// CPU is one logical processor.
+type CPU struct {
+	// ID is the OS logical CPU number.
+	ID int
+	// Socket is the socket (== NUMA node on both evaluation platforms).
+	Socket int
+	// Core is the machine-global physical core index.
+	Core int
+	// SMT is the hardware-thread index within the core.
+	SMT int
+}
+
+// Machine is a full processor description.
+type Machine struct {
+	// Name labels the machine in reports ("haswell-server", ...).
+	Name string
+	// Sockets is the number of sockets; each socket is one NUMA node.
+	Sockets int
+	// CoresPerSocket is the number of physical cores per socket.
+	CoresPerSocket int
+	// ThreadsPerCore is the SMT width.
+	ThreadsPerCore int
+	// Caches lists the hierarchy from L1 outward.
+	Caches []CacheLevel
+	// Enum is the logical CPU numbering scheme.
+	Enum Enumeration
+	// MemLatencyCycles is the approximate DRAM access latency used by
+	// the simulator when every cache level misses.
+	MemLatencyCycles int
+	// CrossSocketPenaltyCycles is the extra latency of a remote-socket
+	// access (QPI hop on Haswell; zero on the single-die Xeon Phi).
+	CrossSocketPenaltyCycles int
+
+	cpus   []CPU       // lazily built, indexed by logical id
+	byCore map[int]int // first logical id per global core, for tests
+}
+
+// NumCPUs returns the number of logical CPUs.
+func (m *Machine) NumCPUs() int {
+	return m.Sockets * m.CoresPerSocket * m.ThreadsPerCore
+}
+
+// NumCores returns the number of physical cores.
+func (m *Machine) NumCores() int {
+	return m.Sockets * m.CoresPerSocket
+}
+
+// CPUs returns all logical CPUs indexed by logical id.
+func (m *Machine) CPUs() []CPU {
+	if m.cpus == nil {
+		m.build()
+	}
+	return m.cpus
+}
+
+// CPUByID returns the logical CPU with the given OS id.
+func (m *Machine) CPUByID(id int) (CPU, error) {
+	cpus := m.CPUs()
+	if id < 0 || id >= len(cpus) {
+		return CPU{}, fmt.Errorf("topology: cpu id %d out of range [0,%d)", id, len(cpus))
+	}
+	return cpus[id], nil
+}
+
+func (m *Machine) build() {
+	n := m.NumCPUs()
+	m.cpus = make([]CPU, n)
+	m.byCore = make(map[int]int)
+	id := 0
+	switch m.Enum {
+	case EnumSMTLast:
+		for smt := 0; smt < m.ThreadsPerCore; smt++ {
+			for s := 0; s < m.Sockets; s++ {
+				for c := 0; c < m.CoresPerSocket; c++ {
+					core := s*m.CoresPerSocket + c
+					m.cpus[id] = CPU{ID: id, Socket: s, Core: core, SMT: smt}
+					if smt == 0 {
+						m.byCore[core] = id
+					}
+					id++
+				}
+			}
+		}
+	case EnumCompact:
+		for s := 0; s < m.Sockets; s++ {
+			for c := 0; c < m.CoresPerSocket; c++ {
+				core := s*m.CoresPerSocket + c
+				for smt := 0; smt < m.ThreadsPerCore; smt++ {
+					m.cpus[id] = CPU{ID: id, Socket: s, Core: core, SMT: smt}
+					if smt == 0 {
+						m.byCore[core] = id
+					}
+					id++
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("topology: unknown enumeration %d", m.Enum))
+	}
+}
+
+// Distance quantifies communication cost between two logical CPUs:
+//
+//	0 — same logical CPU
+//	1 — SMT siblings (shared L1/L2 on Haswell, shared L1 on Phi)
+//	2 — same socket, different core (shared L3 / L2 ring)
+//	3 — different socket (cross-NUMA)
+func (m *Machine) Distance(a, b int) int {
+	cpus := m.CPUs()
+	ca, cb := cpus[a], cpus[b]
+	switch {
+	case ca.ID == cb.ID:
+		return 0
+	case ca.Core == cb.Core:
+		return 1
+	case ca.Socket == cb.Socket:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SharedCacheLevel returns the innermost cache level shared by the two
+// logical CPUs, or 0 when they share no cache (cross-socket with no global
+// level; communication then goes through memory).
+func (m *Machine) SharedCacheLevel(a, b int) int {
+	d := m.Distance(a, b)
+	for _, c := range m.Caches {
+		switch c.Scope {
+		case ScopePerCore:
+			if d <= 1 {
+				return c.Level
+			}
+		case ScopePerSocket:
+			if d <= 2 {
+				return c.Level
+			}
+		case ScopeGlobal:
+			return c.Level
+		}
+	}
+	return 0
+}
+
+// TransferLatency estimates the cycles for one cache line to move from
+// producer CPU a to consumer CPU b, used by the discrete-event model. The
+// shape matters more than the absolute value: sibling threads talk through
+// L1/L2, same-socket cores through L3, remote cores through memory plus the
+// interconnect penalty.
+func (m *Machine) TransferLatency(a, b int) int {
+	lvl := m.SharedCacheLevel(a, b)
+	if lvl == 0 {
+		return m.MemLatencyCycles + m.CrossSocketPenaltyCycles
+	}
+	for _, c := range m.Caches {
+		if c.Level == lvl {
+			lat := c.LatencyCycles
+			if m.Distance(a, b) == 3 {
+				lat += m.CrossSocketPenaltyCycles
+			}
+			return lat
+		}
+	}
+	return m.MemLatencyCycles
+}
+
+// Cache returns the descriptor of the given level and true, or a zero value
+// and false when the machine has no such level.
+func (m *Machine) Cache(level int) (CacheLevel, bool) {
+	for _, c := range m.Caches {
+		if c.Level == level {
+			return c, true
+		}
+	}
+	return CacheLevel{}, false
+}
+
+// LocalityGroups partitions the logical CPUs by NUMA node, returning one
+// slice of logical ids per node. RAMR keeps one task queue per locality
+// group so mappers dequeue NUMA-local splits.
+func (m *Machine) LocalityGroups() [][]int {
+	groups := make([][]int, m.Sockets)
+	for _, c := range m.CPUs() {
+		groups[c.Socket] = append(groups[c.Socket], c.ID)
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+// CompactOrder returns logical CPU ids reordered so that consecutive
+// positions are physically adjacent: the SMT siblings of a core first, then
+// the next core of the same socket, then the next socket. This is the
+// thridtocpu() remapping of the paper's Fig. 3: pinning thread t to
+// CompactOrder()[t] makes the pairs (2i, 2i+1) share a physical core on a
+// 2-way SMT machine.
+func (m *Machine) CompactOrder() []int {
+	cpus := append([]CPU(nil), m.CPUs()...)
+	sort.Slice(cpus, func(i, j int) bool {
+		a, b := cpus[i], cpus[j]
+		if a.Socket != b.Socket {
+			return a.Socket < b.Socket
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		return a.SMT < b.SMT
+	})
+	out := make([]int, len(cpus))
+	for i, c := range cpus {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// ScatterOrder returns logical CPU ids in a round-robin order across
+// sockets and cores (first thread of core 0 of socket 0, then core 0 of
+// socket 1, ...). It is the "RR" baseline pinning of §IV-B.
+func (m *Machine) ScatterOrder() []int {
+	cpus := append([]CPU(nil), m.CPUs()...)
+	sort.Slice(cpus, func(i, j int) bool {
+		a, b := cpus[i], cpus[j]
+		if a.SMT != b.SMT {
+			return a.SMT < b.SMT
+		}
+		coreInSocketA := a.Core % m.CoresPerSocket
+		coreInSocketB := b.Core % m.CoresPerSocket
+		if coreInSocketA != coreInSocketB {
+			return coreInSocketA < coreInSocketB
+		}
+		if a.Socket != b.Socket {
+			return a.Socket < b.Socket
+		}
+		return a.ID < b.ID
+	})
+	out := make([]int, len(cpus))
+	for i, c := range cpus {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// Validate checks internal consistency of the description.
+func (m *Machine) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 || m.ThreadsPerCore <= 0 {
+		return fmt.Errorf("topology: %s: non-positive dimensions %d/%d/%d",
+			m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore)
+	}
+	if len(m.Caches) == 0 {
+		return fmt.Errorf("topology: %s: no cache levels", m.Name)
+	}
+	prev := 0
+	for _, c := range m.Caches {
+		if c.Level <= prev {
+			return fmt.Errorf("topology: %s: cache levels must ascend, got L%d after L%d", m.Name, c.Level, prev)
+		}
+		if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+			return fmt.Errorf("topology: %s: invalid L%d geometry", m.Name, c.Level)
+		}
+		prev = c.Level
+	}
+	return nil
+}
+
+// String summarizes the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d socket(s) x %d core(s) x %d thread(s) = %d logical CPUs",
+		m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore, m.NumCPUs())
+}

@@ -1,0 +1,170 @@
+// Package trace records per-worker execution timelines of a MapReduce run
+// and exports them in the Chrome trace-event JSON format (load the file at
+// chrome://tracing or https://ui.perfetto.dev). The visual it produces is
+// exactly the paper's Fig. 2 made empirical: mapper lanes overlapping
+// combiner lanes, the batch cadence on the combiner side, and the drain
+// tail after the last map task.
+//
+// Workers write into private shards without synchronization; the collector
+// only touches shard data after the run completes, so tracing adds one
+// slice append per recorded span to the hot path.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span on one worker's timeline.
+type Event struct {
+	// Name labels the span ("task", "batch", "map-combine", ...).
+	Name string
+	// Worker is the timeline the span belongs to ("mapper-3").
+	Worker string
+	// Start is the offset from the collector's epoch.
+	Start time.Duration
+	// Dur is the span length.
+	Dur time.Duration
+	// Args carries optional details (task index, batch size).
+	Args map[string]any
+}
+
+// Collector gathers shards from the workers of one run.
+type Collector struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// New returns a collector whose epoch is now.
+func New() *Collector {
+	return &Collector{epoch: time.Now()}
+}
+
+// Shard opens a private event buffer for one worker. Safe to call from
+// any goroutine; the returned shard must be used by one goroutine only.
+func (c *Collector) Shard(worker string) *Shard {
+	s := &Shard{c: c, worker: worker}
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Events returns every recorded event sorted by start time. Call only
+// after all workers have finished.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, s := range c.shards {
+		out = append(out, s.events...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WriteChromeTrace emits the run as a Chrome trace-event JSON array.
+// Workers become thread lanes of a single process; durations are complete
+// ("X") events in microseconds.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
+	// Stable lane ids per worker.
+	lane := map[string]int{}
+	var order []string
+	for _, e := range events {
+		if _, ok := lane[e.Worker]; !ok {
+			lane[e.Worker] = len(lane) + 1
+			order = append(order, e.Worker)
+		}
+	}
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur,omitempty"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	out := make([]chromeEvent, 0, len(events)+len(order))
+	for _, worker := range order {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: lane[worker],
+			Args: map[string]any{"name": worker},
+		})
+	}
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name: e.Name, Ph: "X",
+			Ts:  float64(e.Start.Microseconds()),
+			Dur: float64(e.Dur.Microseconds()),
+			PID: 1, TID: lane[e.Worker],
+			Args: e.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders per-worker busy time as text, a quick utilization view
+// without a trace viewer.
+func (c *Collector) Summary(w io.Writer) error {
+	busy := map[string]time.Duration{}
+	count := map[string]int{}
+	var total time.Duration
+	for _, e := range c.Events() {
+		busy[e.Worker] += e.Dur
+		count[e.Worker]++
+		if end := e.Start + e.Dur; end > total {
+			total = end
+		}
+	}
+	var workers []string
+	for name := range busy {
+		workers = append(workers, name)
+	}
+	sort.Strings(workers)
+	for _, name := range workers {
+		util := 0.0
+		if total > 0 {
+			util = busy[name].Seconds() / total.Seconds() * 100
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %6d spans  busy %12v  (%5.1f%%)\n",
+			name, count[name], busy[name], util); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shard is one worker's private event buffer.
+type Shard struct {
+	c      *Collector
+	worker string
+	events []Event
+}
+
+// Span starts a span and returns the function that ends it:
+//
+//	defer shard.Span("task", nil)()
+func (s *Shard) Span(name string, args map[string]any) func() {
+	start := time.Since(s.c.epoch)
+	return func() {
+		s.events = append(s.events, Event{
+			Name: name, Worker: s.worker,
+			Start: start, Dur: time.Since(s.c.epoch) - start,
+			Args: args,
+		})
+	}
+}
+
+// Record appends an already-measured span.
+func (s *Shard) Record(name string, start, dur time.Duration, args map[string]any) {
+	s.events = append(s.events, Event{Name: name, Worker: s.worker, Start: start, Dur: dur, Args: args})
+}

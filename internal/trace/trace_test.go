@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsDuration(t *testing.T) {
+	c := New()
+	s := c.Shard("w0")
+	end := s.Span("work", map[string]any{"n": 3})
+	time.Sleep(2 * time.Millisecond)
+	end()
+	events := c.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[0]
+	if e.Name != "work" || e.Worker != "w0" {
+		t.Fatalf("%+v", e)
+	}
+	if e.Dur < time.Millisecond {
+		t.Fatalf("duration %v too short", e.Dur)
+	}
+	if e.Args["n"] != 3 {
+		t.Fatalf("args lost: %+v", e.Args)
+	}
+}
+
+func TestEventsSortedAcrossShards(t *testing.T) {
+	c := New()
+	a := c.Shard("a")
+	b := c.Shard("b")
+	b.Record("late", 20*time.Millisecond, time.Millisecond, nil)
+	a.Record("early", 5*time.Millisecond, time.Millisecond, nil)
+	events := c.Events()
+	if len(events) != 2 || events[0].Name != "early" || events[1].Name != "late" {
+		t.Fatalf("%+v", events)
+	}
+}
+
+func TestConcurrentShards(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.Shard("worker")
+			for i := 0; i < 100; i++ {
+				s.Span("op", nil)()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(c.Events()); got != 800 {
+		t.Fatalf("%d events, want 800", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := New()
+	s := c.Shard("mapper-0")
+	s.Record("task", time.Millisecond, 2*time.Millisecond, map[string]any{"splits": 4})
+	s2 := c.Shard("combiner-0")
+	s2.Record("consume", 2*time.Millisecond, time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	// Two metadata events + two spans.
+	if len(parsed) != 4 {
+		t.Fatalf("%d chrome events", len(parsed))
+	}
+	var spans, meta int
+	for _, e := range parsed {
+		switch e["ph"] {
+		case "X":
+			spans++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || meta != 2 {
+		t.Fatalf("spans=%d meta=%d", spans, meta)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := New()
+	s := c.Shard("mapper-0")
+	s.Record("task", 0, 10*time.Millisecond, nil)
+	s.Record("task", 10*time.Millisecond, 10*time.Millisecond, nil)
+	var buf bytes.Buffer
+	if err := c.Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mapper-0") || !strings.Contains(out, "2 spans") {
+		t.Fatalf("summary: %s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/stats"
+)
+
+// hgBuckets is the histogram key range: 256 intensity buckets for each of
+// the three color channels, as in the Phoenix++ Histogram app.
+const hgBuckets = 3 * 256
+
+// hgSplitBytes is the pixel bytes per split, kept a multiple of 3 so a
+// pixel never straddles splits.
+const hgSplitBytes = 12 << 10
+
+// GeneratePixels builds about n bytes of deterministic synthetic RGB pixel
+// data, pre-partitioned into splits. Channel distributions are skewed
+// differently (sky-ish blue bias) so the histogram is non-uniform like a
+// real bitmap.
+func GeneratePixels(n int, seed int64) [][]byte {
+	rng := stats.Rng(seed, "histogram")
+	var splits [][]byte
+	remaining := n - n%3
+	for remaining > 0 {
+		sz := hgSplitBytes
+		if sz > remaining {
+			sz = remaining
+		}
+		b := make([]byte, sz)
+		for i := 0; i+2 < len(b); i += 3 {
+			b[i] = byte(rng.Intn(200))        // R: darker
+			b[i+1] = byte(rng.Intn(256))      // G: uniform
+			b[i+2] = byte(55 + rng.Intn(200)) // B: brighter
+		}
+		splits = append(splits, b)
+		remaining -= sz
+	}
+	return splits
+}
+
+func hgContainer(kind container.Kind) container.Factory[int, int] {
+	switch kind {
+	case container.KindFixedHash:
+		return func() container.Container[int, int] {
+			return container.NewFixedHash[int, int](hgBuckets, container.HashInt)
+		}
+	case container.KindHash:
+		return func() container.Container[int, int] { return container.NewHash[int, int]() }
+	default:
+		return func() container.Container[int, int] { return container.NewFixedArray[int](hgBuckets) }
+	}
+}
+
+// HistogramSpec builds the HG job over the given pixel splits.
+func HistogramSpec(splits [][]byte, kind container.Kind) *mr.Spec[[]byte, int, int, int] {
+	return &mr.Spec[[]byte, int, int, int]{
+		Name:   "HG",
+		Splits: splits,
+		Map: func(px []byte, emit func(int, int)) {
+			for i := 0; i+2 < len(px); i += 3 {
+				emit(int(px[i]), 1)
+				emit(256+int(px[i+1]), 1)
+				emit(512+int(px[i+2]), 1)
+			}
+		},
+		Combine:      func(a, b int) int { return a + b },
+		Reduce:       mr.IdentityReduce[int, int](),
+		NewContainer: hgContainer(kind),
+		Less:         func(a, b int) bool { return a < b },
+	}
+}
+
+// HistogramJob instantiates Histogram over ~nBytes of synthetic pixels.
+// Histogram is the image-processing app and, with LR, one of the two
+// "light" workloads (lowest instructions-per-byte): three emissions per
+// pixel with almost no computation, which is why the paper finds it
+// unsuited to RAMR with default containers (queue overhead dominates).
+func HistogramJob(nBytes int, kind container.Kind, seed int64) *Job {
+	splits := GeneratePixels(nBytes, seed)
+	spec := HistogramSpec(splits, kind)
+	return &Job{
+		App:       "HG",
+		FullName:  "Histogram",
+		Container: kind,
+		InputDesc: fmt.Sprintf("%d pixel-bytes in %d splits", nBytes, len(splits)),
+		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
+			return RunTyped(spec, eng, cfg, func(k, v int) uint64 {
+				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+			})
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/stats"
+)
+
+// Matrix Multiply computes C = A x B with A (rows x inner) and B
+// (inner x cols), "adapted to utilize the Map/Reduce semantics" as the
+// paper footnotes: the inner dimension is blocked, each map task covers a
+// (row-block, k-block) tile and emits *partial* dot products keyed by the
+// output cell i*cols+j, and the combine function sums the partials. This
+// blocking is what gives MM a genuinely heavy combine phase — each output
+// cell is combined mmKBlocks times — making MM, with KM, the paper's
+// strongest RAMR case.
+
+// MMInput is a generated Matrix Multiply problem instance.
+type MMInput struct {
+	A, B []int32
+	// Rows x Inner times Inner x Cols.
+	Rows, Inner, Cols int
+	// Splits are (rowLo, rowHi, kLo, kHi) tiles.
+	Splits []MMTile
+}
+
+// MMTile is one map task: rows [RowLo, RowHi) against inner-dimension
+// block [KLo, KHi).
+type MMTile struct {
+	RowLo, RowHi, KLo, KHi int
+}
+
+const (
+	// mmRowBlock rows per tile.
+	mmRowBlock = 16
+	// mmKBlocks is how many blocks the inner dimension splits into —
+	// i.e. how many partials are combined per output cell.
+	mmKBlocks = 4
+)
+
+// GenerateMM builds deterministic random matrices and the tile list.
+func GenerateMM(rows, inner, cols int, seed int64) *MMInput {
+	rng := stats.Rng(seed, "matmul")
+	a := make([]int32, rows*inner)
+	for i := range a {
+		a[i] = int32(rng.Intn(200) - 100)
+	}
+	b := make([]int32, inner*cols)
+	for i := range b {
+		b[i] = int32(rng.Intn(200) - 100)
+	}
+	kb := (inner + mmKBlocks - 1) / mmKBlocks
+	var tiles []MMTile
+	for rlo := 0; rlo < rows; rlo += mmRowBlock {
+		rhi := rlo + mmRowBlock
+		if rhi > rows {
+			rhi = rows
+		}
+		for klo := 0; klo < inner; klo += kb {
+			khi := klo + kb
+			if khi > inner {
+				khi = inner
+			}
+			tiles = append(tiles, MMTile{rlo, rhi, klo, khi})
+		}
+	}
+	return &MMInput{A: a, B: b, Rows: rows, Inner: inner, Cols: cols, Splits: tiles}
+}
+
+func mmContainer(kind container.Kind, cells int) container.Factory[int, int64] {
+	switch kind {
+	case container.KindHash:
+		return func() container.Container[int, int64] { return container.NewHashSized[int, int64](cells / 8) }
+	case container.KindFixedHash:
+		return func() container.Container[int, int64] {
+			return container.NewFixedHash[int, int64](cells, container.HashInt)
+		}
+	default:
+		// Every worker allocates the full output range even though each
+		// mapper touches a limited row band — the capacity overshoot
+		// the paper's §IV-E analyzes for MM's default container.
+		return func() container.Container[int, int64] { return container.NewFixedArray[int64](cells) }
+	}
+}
+
+// MatMulSpec builds the MM job.
+func MatMulSpec(in *MMInput, kind container.Kind) *mr.Spec[MMTile, int, int64, int64] {
+	cols, inner := in.Cols, in.Inner
+	return &mr.Spec[MMTile, int, int64, int64]{
+		Name:   "MM",
+		Splits: in.Splits,
+		Map: func(t MMTile, emit func(int, int64)) {
+			for i := t.RowLo; i < t.RowHi; i++ {
+				arow := in.A[i*inner : (i+1)*inner]
+				for j := 0; j < cols; j++ {
+					var s int64
+					for k := t.KLo; k < t.KHi; k++ {
+						s += int64(arow[k]) * int64(in.B[k*cols+j])
+					}
+					emit(i*cols+j, s)
+				}
+			}
+		},
+		Combine:      func(a, b int64) int64 { return a + b },
+		Reduce:       mr.IdentityReduce[int, int64](),
+		NewContainer: mmContainer(kind, in.Rows*in.Cols),
+		Less:         func(a, b int) bool { return a < b },
+	}
+}
+
+// MatMulJob instantiates Matrix Multiply for (rows x inner)(inner x cols).
+func MatMulJob(rows, inner, cols int, kind container.Kind, seed int64) *Job {
+	in := GenerateMM(rows, inner, cols, seed)
+	spec := MatMulSpec(in, kind)
+	return &Job{
+		App:       "MM",
+		FullName:  "Matrix Multiply",
+		Container: kind,
+		InputDesc: fmt.Sprintf("(%dx%d)x(%dx%d), %d tiles", rows, inner, inner, cols, len(in.Splits)),
+		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
+			return RunTyped(spec, eng, cfg, func(k int, v int64) uint64 {
+				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+			})
+		},
+	}
+}

@@ -1,0 +1,124 @@
+// Package workloads implements the six applications of the Phoenix++
+// benchmark suite that the paper evaluates (§IV-A): Word Count (WC),
+// Histogram (HG), Linear Regression (LR), KMeans (KM), PCA and Matrix
+// Multiply (MM), each with a deterministic synthetic input generator and a
+// type-erased Job adapter so the benchmark harness can run any app through
+// either engine without knowing its type parameters.
+//
+// Input sizes follow Table I of the paper proportionally: the Small/
+// Medium/Large grid per platform keeps the paper's ratios, with absolute
+// sizes scaled down (documented in EXPERIMENTS.md) so the whole evaluation
+// runs in CI time on a laptop-class host.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"ramr/internal/container"
+	"ramr/internal/core"
+	"ramr/internal/mr"
+	"ramr/internal/phoenix"
+)
+
+// Engine selects which runtime executes a job.
+type Engine int
+
+const (
+	// EngineRAMR is the decoupled, overlapped runtime (the paper's
+	// contribution).
+	EngineRAMR Engine = iota
+	// EnginePhoenix is the fused Phoenix++-style baseline.
+	EnginePhoenix
+)
+
+// String names the engine for reports.
+func (e Engine) String() string {
+	switch e {
+	case EngineRAMR:
+		return "RAMR"
+	case EnginePhoenix:
+		return "Phoenix++"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// RunInfo is the type-erased result of one job execution.
+type RunInfo struct {
+	// Wall is the end-to-end wall-clock duration of the invocation.
+	Wall time.Duration
+	// Phases is the engine's per-phase breakdown.
+	Phases mr.PhaseTimes
+	// Queue aggregates SPSC counters (RAMR engine only).
+	Queue mr.QueueStats
+	// Pairs is the number of distinct output keys.
+	Pairs int
+	// Digest is an order-independent hash of the output for
+	// exact-arithmetic apps, or 0 when the app's values are floating
+	// point (engines then agree only approximately, because combine
+	// order differs).
+	Digest uint64
+}
+
+// Job is a ready-to-run application instance.
+type Job struct {
+	// App is the paper's short name: WC, HG, LR, KM, PCA, MM.
+	App string
+	// FullName is the spelled-out application name.
+	FullName string
+	// Container is the intermediate container configuration in use.
+	Container container.Kind
+	// InputDesc describes the generated input for reports.
+	InputDesc string
+	// Run executes the job on the selected engine.
+	Run func(eng Engine, cfg mr.Config) (*RunInfo, error)
+}
+
+// RunTyped executes a typed spec on the chosen engine and erases the
+// types. digest, when non-nil, folds each output pair into an
+// order-independent checksum. Exported so sibling packages (synth) can
+// adapt their own typed specs into Jobs.
+func RunTyped[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], eng Engine, cfg mr.Config, digest func(K, R) uint64) (*RunInfo, error) {
+	start := time.Now()
+	var (
+		res *mr.Result[K, R]
+		err error
+	)
+	switch eng {
+	case EngineRAMR:
+		res, err = core.Run(spec, cfg)
+	case EnginePhoenix:
+		res, err = phoenix.Run(spec, cfg)
+	default:
+		return nil, fmt.Errorf("workloads: unknown engine %v", eng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	info := &RunInfo{
+		Wall:   time.Since(start),
+		Phases: res.Phases,
+		Queue:  res.QueueStats,
+		Pairs:  len(res.Pairs),
+	}
+	if digest != nil {
+		var d uint64
+		for _, p := range res.Pairs {
+			d += digest(p.Key, p.Value)
+		}
+		info.Digest = d
+	}
+	return info, nil
+}
+
+// mix is the 64-bit finalizer used for digests.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AppNames lists the suite in the paper's presentation order.
+func AppNames() []string { return []string{"HG", "KM", "LR", "MM", "PCA", "WC"} }

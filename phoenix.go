@@ -1,0 +1,19 @@
+package ramr
+
+import (
+	"context"
+
+	"ramr/internal/mr"
+	"ramr/internal/phoenix"
+)
+
+// phoenixRun is split into its own file so api.go reads as the API surface;
+// it simply forwards to the baseline engine.
+func phoenixRun[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	return phoenix.Run(spec, cfg)
+}
+
+// phoenixRunContext forwards RunPhoenixContext to the baseline engine.
+func phoenixRunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], cfg mr.Config) (*mr.Result[K, R], error) {
+	return phoenix.RunContext(ctx, spec, cfg)
+}
