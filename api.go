@@ -24,8 +24,9 @@
 // compute-intensive map with the memory-intensive combine, and pins
 // co-operating threads to adjacent logical CPUs (Linux; elsewhere pinning
 // degrades to a no-op). Every knob from the paper — mapper/combiner ratio,
-// queue capacity, consume batch size, task size, wait policy, pin policy —
-// is a Config field, overridable through RAMR_* environment variables.
+// queue capacity, consume batch size, emit batch size, task size, wait
+// policy, pin policy — is a Config field, overridable through RAMR_*
+// environment variables.
 package ramr
 
 import (

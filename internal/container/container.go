@@ -49,6 +49,15 @@ func (k Kind) String() string {
 // associative; MapReduce gives no ordering guarantee across workers.
 type Combine[V any] func(acc, v V) V
 
+// KV is one intermediate key-value pair, the element of bulk container
+// updates. It is also the element type the RAMR engine streams through its
+// SPSC queues, so a consumed queue batch can be handed to UpdateBatch
+// without per-element repacking.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
 // Container accumulates combined values by key. Implementations are not
 // safe for concurrent use — the runtimes give each worker its own instance,
 // exactly as the paper prescribes ("a separate container is allocated to
@@ -56,6 +65,11 @@ type Combine[V any] func(acc, v V) V
 type Container[K comparable, V any] interface {
 	// Update folds v into the accumulator for k using combine.
 	Update(k K, v V, combine Combine[V])
+	// UpdateBatch folds every pair of kvs into the container, equivalent
+	// to calling Update once per element in order. Implementations
+	// specialize the loop so the combiner's hot path pays one interface
+	// dispatch per batch instead of one per pair.
+	UpdateBatch(kvs []KV[K, V], combine Combine[V])
 	// Get returns the accumulator for k.
 	Get(k K) (V, bool)
 	// Len returns the number of distinct keys present.
@@ -69,13 +83,27 @@ type Container[K comparable, V any] interface {
 	Kind() Kind
 }
 
+// mergeBatch is how many pairs Merge buffers between bulk updates of the
+// destination; large enough to amortize the dispatch, small enough to stay
+// cache-resident.
+const mergeBatch = 256
+
 // Merge folds every pair of src into dst using combine. It is the
 // inter-container reduction used when per-worker results are gathered.
+// Pairs are staged through a small buffer and applied with UpdateBatch so
+// the destination side of the merge runs on the same bulk path as the
+// combiners.
 func Merge[K comparable, V any](dst, src Container[K, V], combine Combine[V]) {
+	buf := make([]KV[K, V], 0, mergeBatch)
 	src.Iterate(func(k K, v V) bool {
-		dst.Update(k, v, combine)
+		buf = append(buf, KV[K, V]{k, v})
+		if len(buf) == cap(buf) {
+			dst.UpdateBatch(buf, combine)
+			buf = buf[:0]
+		}
 		return true
 	})
+	dst.UpdateBatch(buf, combine)
 }
 
 // Factory builds fresh containers of one configured kind; the runtimes use

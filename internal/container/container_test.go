@@ -278,3 +278,61 @@ func TestNewHashSized(t *testing.T) {
 		t.Fatal("NewHashSized(-1) unusable")
 	}
 }
+
+// TestUpdateBatchEquivalence pins the bulk-update contract: UpdateBatch
+// must produce exactly the state of per-element Update calls in the same
+// order, on every implementation.
+func TestUpdateBatchEquivalence(t *testing.T) {
+	kvs := make([]KV[int, int], 0, 300)
+	for i := 0; i < 300; i++ {
+		kvs = append(kvs, KV[int, int]{K: (i * 7) % 40, V: i})
+	}
+	batched := eachKind(t, 64)
+	single := eachKind(t, 64)
+	for kind := range batched {
+		b, s := batched[kind], single[kind]
+		b.UpdateBatch(nil, sum) // empty batch is a no-op
+		b.UpdateBatch(kvs[:100], sum)
+		b.UpdateBatch(kvs[100:], sum)
+		for _, p := range kvs {
+			s.Update(p.K, p.V, sum)
+		}
+		if b.Len() != s.Len() {
+			t.Fatalf("%v: batched Len %d != single Len %d", kind, b.Len(), s.Len())
+		}
+		s.Iterate(func(k, v int) bool {
+			if got, ok := b.Get(k); !ok || got != v {
+				t.Fatalf("%v: key %d batched=(%d,%v) single=%d", kind, k, got, ok, v)
+			}
+			return true
+		})
+	}
+}
+
+// TestUpdateBatchNonCommutative checks that batched folding preserves
+// element order within and across batches (combine need only be
+// associative, not commutative).
+func TestUpdateBatchNonCommutative(t *testing.T) {
+	concat := func(a, b string) string { return a + b }
+	for _, c := range []Container[int, string]{
+		NewFixedArray[string](8),
+		NewFixedHash[int, string](8, HashInt),
+		NewHash[int, string](),
+	} {
+		c.UpdateBatch([]KV[int, string]{{K: 1, V: "a"}, {K: 1, V: "b"}}, concat)
+		c.UpdateBatch([]KV[int, string]{{K: 1, V: "c"}}, concat)
+		if v, _ := c.Get(1); v != "abc" {
+			t.Fatalf("%v: got %q, want \"abc\"", c.Kind(), v)
+		}
+	}
+}
+
+func TestFixedHashUpdateBatchOverflowPanics(t *testing.T) {
+	h := NewFixedHash[int, int](2, HashInt)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UpdateBatch over declared capacity should panic")
+		}
+	}()
+	h.UpdateBatch([]KV[int, int]{{K: 1, V: 1}, {K: 2, V: 2}, {K: 3, V: 3}}, sum)
+}

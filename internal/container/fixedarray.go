@@ -40,6 +40,21 @@ func (a *FixedArray[V]) Update(k int, v V, combine Combine[V]) {
 	a.n++
 }
 
+// UpdateBatch folds each pair of kvs into its accumulator. The loop runs
+// over the dense backing arrays directly, so a batch of b pairs costs one
+// interface dispatch plus b indexed accesses.
+func (a *FixedArray[V]) UpdateBatch(kvs []KV[int, V], combine Combine[V]) {
+	for _, p := range kvs {
+		if a.present[p.K] {
+			a.vals[p.K] = combine(a.vals[p.K], p.V)
+			continue
+		}
+		a.vals[p.K] = p.V
+		a.present[p.K] = true
+		a.n++
+	}
+}
+
 // Get returns the accumulator for k.
 func (a *FixedArray[V]) Get(k int) (V, bool) {
 	var zero V

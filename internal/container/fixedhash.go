@@ -103,6 +103,33 @@ func (h *FixedHash[K, V]) Update(k K, v V, combine Combine[V]) {
 	}
 }
 
+// UpdateBatch folds each pair of kvs into its slot. The probe loop is the
+// same as Update's; batching amortizes the interface dispatch and keeps
+// consecutive probes of one batch temporally adjacent in the table.
+func (h *FixedHash[K, V]) UpdateBatch(kvs []KV[K, V], combine Combine[V]) {
+	for _, p := range kvs {
+		i := h.hash(p.K) & h.mask
+		for {
+			h.Probes++
+			if h.state[i] == 0 {
+				if h.n >= h.maxKeys {
+					panic(fmt.Sprintf("container: FixedHash overflow: %d distinct keys exceed declared capacity %d", h.n+1, h.maxKeys))
+				}
+				h.keys[i] = p.K
+				h.vals[i] = p.V
+				h.state[i] = 1
+				h.n++
+				break
+			}
+			if h.keys[i] == p.K {
+				h.vals[i] = combine(h.vals[i], p.V)
+				break
+			}
+			i = (i + 1) & h.mask
+		}
+	}
+}
+
 // Get returns the accumulator for k.
 func (h *FixedHash[K, V]) Get(k K) (V, bool) {
 	var zero V

@@ -32,6 +32,18 @@ func (h *Hash[K, V]) Update(k K, v V, combine Combine[V]) {
 	h.m[k] = v
 }
 
+// UpdateBatch folds each pair of kvs into its accumulator, touching the
+// map directly so a batch costs one interface dispatch.
+func (h *Hash[K, V]) UpdateBatch(kvs []KV[K, V], combine Combine[V]) {
+	for _, p := range kvs {
+		if acc, ok := h.m[p.K]; ok {
+			h.m[p.K] = combine(acc, p.V)
+			continue
+		}
+		h.m[p.K] = p.V
+	}
+}
+
 // Get returns the accumulator for k.
 func (h *Hash[K, V]) Get(k K) (V, bool) {
 	v, ok := h.m[k]

@@ -33,10 +33,9 @@ import (
 )
 
 // pair is one intermediate key-value element flowing through the queues.
-type pair[K comparable, V any] struct {
-	k K
-	v V
-}
+// It is the container package's KV so a consumed queue batch can be handed
+// to Container.UpdateBatch without repacking.
+type pair[K comparable, V any] = container.KV[K, V]
 
 // combinerIdle is how long a combiner sleeps when one full polling round
 // over its assigned queues consumed nothing; long enough to free the SMT
@@ -88,6 +87,16 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if c := queues[0].Cap(); batch > c {
 		batch = c
 	}
+	// The emit slab gets the same clamp: PushBatch copies oversized
+	// blocks in chunks anyway, but a slab beyond the ring capacity only
+	// adds latency before the combiner sees anything.
+	emitBatch := cfg.EmitBatch
+	if emitBatch <= 0 {
+		emitBatch = mr.DefaultEmitBatch
+	}
+	if c := queues[0].Cap(); emitBatch > c {
+		emitBatch = c
+	}
 	plan := BuildPlan(machine, mappers, combiners, cfg.Pin)
 	assign := QueueAssignment(mappers, combiners)
 	res.Phases.Init = time.Since(t0)
@@ -126,8 +135,25 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 		go func(i int) {
 			defer mapWG.Done()
 			q := queues[i]
-			// Runs last (LIFO): the combiner must always be notified.
+			// Emitted pairs are staged in a producer-local slab and
+			// published as blocks, so the shared tail index (and the
+			// cross-core traffic on its cache line) is touched once
+			// per slab instead of once per pair. The slab flushes on
+			// fill, at every task boundary, and before the queue
+			// closes; EmitBatch == 1 bypasses the slab entirely and
+			// emits with single-element Push (the ablation baseline).
+			slab := make([]pair[K, V], 0, emitBatch)
+			flush := func() {
+				if len(slab) > 0 {
+					q.PushBatch(slab)
+					slab = slab[:0]
+				}
+			}
+			// Deferred LIFO: recover first (a Map panic must not skip
+			// the flush), then flush, then Close — the combiner must
+			// always be notified, and Push after Close panics.
 			defer q.Close()
+			defer flush()
 			defer func() {
 				if r := recover(); r != nil {
 					firstErr.Setf("ramr: map worker %d panicked: %v", i, r)
@@ -142,7 +168,15 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			if cfg.Trace != nil {
 				shard = cfg.Trace.Shard(fmt.Sprintf("mapper-%d", i))
 			}
-			emit := func(k K, v V) { q.Push(pair[K, V]{k, v}) }
+			emit := func(k K, v V) {
+				slab = append(slab, pair[K, V]{K: k, V: v})
+				if len(slab) == cap(slab) {
+					flush()
+				}
+			}
+			if emitBatch <= 1 {
+				emit = func(k K, v V) { q.Push(pair[K, V]{K: k, V: v}) }
+			}
 			for !abort.Load() && ctx.Err() == nil {
 				lo, hi, ok := tq.next(mapperGroup[i])
 				if !ok {
@@ -155,6 +189,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 				for s := lo; s < hi; s++ {
 					spec.Map(spec.Splits[s], emit)
 				}
+				flush()
 				if end != nil {
 					end()
 				}
@@ -200,9 +235,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			}
 			c := containers[j]
 			apply := func(batch []pair[K, V]) {
-				for _, p := range batch {
-					c.Update(p.k, p.v, spec.Combine)
-				}
+				c.UpdateBatch(batch, spec.Combine)
 			}
 			idleRounds := 0
 			for {
@@ -256,8 +289,10 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 		s := q.Snapshot()
 		res.QueueStats.Pushes += s.Pushes
 		res.QueueStats.FailedPush += s.FailedPush
+		res.QueueStats.SpinRounds += s.SpinRounds
 		res.QueueStats.Pops += s.Pops
 		res.QueueStats.EmptyPolls += s.EmptyPolls
+		res.QueueStats.ShortPolls += s.ShortPolls
 		res.QueueStats.BatchCalls += s.BatchCalls
 		res.QueueStats.SleepMicros += s.SleepMicros
 	}

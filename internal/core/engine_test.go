@@ -295,3 +295,29 @@ func TestResultDeterministicAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestEmitBatchSweep pins that every emit-slab size — including 1 (the
+// single-Push ablation path), an oversize value clamped to the ring, and
+// the derived default — yields the identical result and element-exact
+// queue accounting.
+func TestEmitBatchSweep(t *testing.T) {
+	spec := countSpec(40, 25, 17)
+	for _, eb := range []int{0, 1, 3, 64, 100_000} {
+		cfg := testConfig()
+		cfg.EmitBatch = eb
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatalf("EmitBatch=%d: %v", eb, err)
+		}
+		total := 0
+		for _, p := range res.Pairs {
+			total += p.Value
+		}
+		if total != 40*25 {
+			t.Fatalf("EmitBatch=%d: total = %d, want %d", eb, total, 40*25)
+		}
+		if res.QueueStats.Pushes != uint64(40*25) || res.QueueStats.Pushes != res.QueueStats.Pops {
+			t.Fatalf("EmitBatch=%d: queue stats: %+v", eb, res.QueueStats)
+		}
+	}
+}

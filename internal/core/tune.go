@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"ramr/internal/container"
 	"ramr/internal/mr"
 )
 
@@ -40,17 +41,13 @@ func TuneRatio[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.
 		return 1, nil
 	}
 
-	type kv struct {
-		k K
-		v V
-	}
-	buf := make([]kv, 0, 4096)
+	buf := make([]container.KV[K, V], 0, 4096)
 
 	// Map phase sample: process splits until enough pairs accumulate.
 	mapStart := time.Now()
 	splits := 0
 	for _, s := range spec.Splits {
-		spec.Map(s, func(k K, v V) { buf = append(buf, kv{k, v}) })
+		spec.Map(s, func(k K, v V) { buf = append(buf, container.KV[K, V]{K: k, V: v}) })
 		splits++
 		if len(buf) >= tuneSampleTarget {
 			break
@@ -61,12 +58,21 @@ func TuneRatio[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], cfg mr.
 		return 1, nil
 	}
 
-	// Combine phase sample: fold the same pairs into a fresh container,
-	// the exact work a combiner performs per batch.
+	// Combine phase sample: fold the same pairs into a fresh container
+	// in consume-batch-sized blocks — the exact bulk-update work a
+	// combiner performs per ConsumeBatch.
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = mr.DefaultBatchSize
+	}
 	c := spec.NewContainer()
 	combStart := time.Now()
-	for _, p := range buf {
-		c.Update(p.k, p.v, spec.Combine)
+	for lo := 0; lo < len(buf); lo += batch {
+		hi := lo + batch
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		c.UpdateBatch(buf[lo:hi], spec.Combine)
 	}
 	combTime := time.Since(combStart)
 

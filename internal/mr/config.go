@@ -76,6 +76,14 @@ type Config struct {
 	QueueCapacity int
 	// BatchSize is the combiner's batched-consume block size (§IV-C).
 	BatchSize int
+	// EmitBatch is the mapper-side emit slab size: a mapper buffers this
+	// many emitted pairs locally and publishes them with one PushBatch,
+	// so the queue's shared tail index is touched once per slab instead
+	// of once per pair. 1 disables producer-side batching (each emit is
+	// a single Push — the pre-batching behaviour, kept for ablation);
+	// 0 selects DefaultEmitBatch. Like BatchSize, the engine clamps it
+	// to the queue capacity.
+	EmitBatch int
 	// Wait selects the producer's full-queue policy.
 	Wait spsc.WaitPolicy
 	// Pin selects the thread placement policy.
@@ -95,6 +103,7 @@ const (
 	DefaultRatio     = 1
 	DefaultTaskSize  = 4
 	DefaultBatchSize = 1000
+	DefaultEmitBatch = 64
 )
 
 // DefaultConfig returns a runnable configuration for the current host:
@@ -112,6 +121,7 @@ func DefaultConfig() Config {
 		TaskSize:      DefaultTaskSize,
 		QueueCapacity: spsc.DefaultCapacity,
 		BatchSize:     DefaultBatchSize,
+		EmitBatch:     DefaultEmitBatch,
 		Wait:          spsc.WaitSleep,
 		Pin:           PinRAMR,
 	}
@@ -127,6 +137,7 @@ const (
 	EnvTaskSize  = "RAMR_TASK_SIZE"
 	EnvQueueCap  = "RAMR_QUEUE_CAP"
 	EnvBatchSize = "RAMR_BATCH_SIZE"
+	EnvEmitBatch = "RAMR_EMIT_BATCH"
 	EnvPin       = "RAMR_PIN"
 	EnvWait      = "RAMR_WAIT"
 )
@@ -146,6 +157,7 @@ func FromEnv() (Config, error) {
 		{EnvTaskSize, &c.TaskSize, 1},
 		{EnvQueueCap, &c.QueueCapacity, 1},
 		{EnvBatchSize, &c.BatchSize, 1},
+		{EnvEmitBatch, &c.EmitBatch, 1},
 	} {
 		s, ok := os.LookupEnv(it.env)
 		if !ok {
@@ -212,6 +224,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mr: QueueCapacity must be >= 1, got %d", c.QueueCapacity)
 	case c.BatchSize < 1:
 		return fmt.Errorf("mr: BatchSize must be >= 1, got %d", c.BatchSize)
+	case c.EmitBatch < 0:
+		return fmt.Errorf("mr: EmitBatch must be >= 0 (0 selects the default), got %d", c.EmitBatch)
 	}
 	return nil
 }

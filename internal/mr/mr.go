@@ -126,12 +126,16 @@ type Result[K comparable, R any] struct {
 }
 
 // QueueStats aggregates the SPSC counters across all mapper queues of one
-// RAMR run.
+// RAMR run. See spsc.Stats for field semantics; in particular EmptyPolls
+// counts polls of a truly empty ring while ShortPolls counts unforced
+// polls that found fewer than a full batch buffered.
 type QueueStats struct {
 	Pushes      uint64
 	FailedPush  uint64
+	SpinRounds  uint64
 	Pops        uint64
 	EmptyPolls  uint64
+	ShortPolls  uint64
 	BatchCalls  uint64
 	SleepMicros uint64
 }

@@ -71,6 +71,7 @@ func TestConfigValidate(t *testing.T) {
 		{Mappers: 1, Ratio: 1, TaskSize: 0, QueueCapacity: 1, BatchSize: 1},
 		{Mappers: 1, Ratio: 1, TaskSize: 1, QueueCapacity: 0, BatchSize: 1},
 		{Mappers: 1, Ratio: 1, TaskSize: 1, QueueCapacity: 1, BatchSize: 0},
+		{Mappers: 1, Ratio: 1, TaskSize: 1, QueueCapacity: 1, BatchSize: 1, EmitBatch: -1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -105,13 +106,14 @@ func TestFromEnv(t *testing.T) {
 	t.Setenv(EnvTaskSize, "9")
 	t.Setenv(EnvQueueCap, "123")
 	t.Setenv(EnvBatchSize, "55")
+	t.Setenv(EnvEmitBatch, "17")
 	t.Setenv(EnvPin, "rr")
 	t.Setenv(EnvWait, "busy")
 	c, err := FromEnv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Mappers != 7 || c.Ratio != 3 || c.TaskSize != 9 || c.QueueCapacity != 123 || c.BatchSize != 55 {
+	if c.Mappers != 7 || c.Ratio != 3 || c.TaskSize != 9 || c.QueueCapacity != 123 || c.BatchSize != 55 || c.EmitBatch != 17 {
 		t.Fatalf("env not applied: %+v", c)
 	}
 	if c.Pin != PinRoundRobin || c.Wait != spsc.WaitBusy {
@@ -124,6 +126,7 @@ func TestFromEnvRejectsGarbage(t *testing.T) {
 		EnvMappers:   "zero",
 		EnvRatio:     "0",
 		EnvBatchSize: "-3",
+		EnvEmitBatch: "0",
 		EnvPin:       "sideways",
 		EnvWait:      "spin",
 	} {

@@ -1,0 +1,91 @@
+package spsc
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRaceMixedProducerConsumer hammers every producer entry point
+// (Push, PushBatch of varying block sizes) against every consumer entry
+// point (TryPop, ConsumeBatch of varying batch sizes, forced and unforced)
+// on wrap-around-sized rings. Run under -race (CI does) it exercises the
+// cached-index paths for data races; in any mode it asserts the
+// exactly-once, in-order contract — no element lost, duplicated, or
+// reordered. Two of the four consumer modes force-consume partial batches
+// so the tiny rings drain steadily; otherwise a blocked producer turns the
+// test into a sleep benchmark on single-CPU hosts.
+func TestRaceMixedProducerConsumer(t *testing.T) {
+	const n = 5_000
+	for _, capacity := range []int{2, 4} {
+		for _, policy := range []WaitPolicy{WaitSleep, WaitBusy} {
+			q := MustNew[int](capacity, policy)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				expect := 0
+				check := func(b []int) {
+					for _, v := range b {
+						if v != expect {
+							t.Errorf("cap=%d policy=%v: got %d, want %d", capacity, policy, v, expect)
+							return
+						}
+						expect++
+					}
+				}
+				mode := 0
+				for !q.Drained() {
+					consumed := 0
+					switch mode % 4 {
+					case 0:
+						if v, ok := q.TryPop(); ok {
+							check([]int{v})
+							consumed = 1
+						}
+					case 1:
+						consumed = q.ConsumeBatch(2, true, check)
+					case 2:
+						// Unforced: fires only on a full block.
+						consumed = q.ConsumeBatch(2, q.Closed(), check)
+					case 3:
+						consumed = q.ConsumeBatch(3, true, check)
+					}
+					mode++
+					if consumed == 0 {
+						runtime.Gosched()
+					}
+				}
+				if expect != n {
+					t.Errorf("cap=%d policy=%v: consumed %d of %d elements", capacity, policy, expect, n)
+				}
+			}()
+			// Rotate producer modes: single pushes and batches of 1..5
+			// elements, all at least as large as the smallest ring.
+			block := make([]int, 0, 5)
+			v := 0
+			for v < n {
+				switch (v / 7) % 3 {
+				case 0:
+					q.Push(v)
+					v++
+				default:
+					size := 1 + v%5
+					if size > n-v {
+						size = n - v
+					}
+					block = block[:0]
+					for i := 0; i < size; i++ {
+						block = append(block, v+i)
+					}
+					q.PushBatch(block)
+					v += size
+				}
+			}
+			q.Close()
+			<-done
+			s := q.Snapshot()
+			if s.Pushes != n || s.Pops != n {
+				t.Fatalf("cap=%d policy=%v: stats pushes=%d pops=%d, want %d", capacity, policy, s.Pushes, s.Pops, n)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -289,6 +290,179 @@ func TestBlockingPushUnblocks(t *testing.T) {
 		<-done
 		if q.Len() != 2 {
 			t.Fatalf("Len = %d, want 2", q.Len())
+		}
+	}
+}
+
+func TestPushBatchSequential(t *testing.T) {
+	q := MustNew[int](8, WaitSleep)
+	q.PushBatch([]int{0, 1, 2})
+	q.PushBatch(nil) // empty block is a no-op
+	q.PushBatch([]int{3, 4})
+	for i := 0; i < 5; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	s := q.Snapshot()
+	if s.Pushes != 5 || s.Pops != 5 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPushBatchWrapsInOrder(t *testing.T) {
+	q := MustNew[int](8, WaitSleep)
+	// Advance the indices so the next block spans the wrap point and
+	// exercises the two-run copy.
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+		q.TryPop()
+	}
+	block := []int{100, 101, 102, 103, 104, 105, 106, 107}
+	q.PushBatch(block)
+	var got []int
+	if n := q.ConsumeBatch(8, false, func(b []int) { got = append(got, b...) }); n != 8 {
+		t.Fatalf("consumed %d, want 8", n)
+	}
+	for i, v := range got {
+		if v != block[i] {
+			t.Fatalf("wrap order broken: got[%d]=%d want %d", i, v, block[i])
+		}
+	}
+}
+
+// TestPushBatchLargerThanRing drives a block bigger than the capacity; the
+// producer must chunk it while a concurrent consumer makes room.
+func TestPushBatchLargerThanRing(t *testing.T) {
+	q := MustNew[int](4, WaitSleep)
+	block := make([]int, 37)
+	for i := range block {
+		block[i] = i
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		expect := 0
+		for !q.Drained() {
+			consumed := q.ConsumeBatch(3, q.Closed(), func(b []int) {
+				for _, v := range b {
+					if v != expect {
+						t.Errorf("got %d, want %d", v, expect)
+					}
+					expect++
+				}
+			})
+			if consumed == 0 {
+				runtime.Gosched()
+			}
+		}
+		if expect != len(block) {
+			t.Errorf("consumed %d elements, want %d", expect, len(block))
+		}
+	}()
+	q.PushBatch(block)
+	q.Close()
+	<-done
+}
+
+func TestPushBatchAfterClosePanics(t *testing.T) {
+	q := MustNew[int](8, WaitSleep)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PushBatch after Close should panic")
+		}
+	}()
+	q.PushBatch([]int{1})
+}
+
+// TestShortPollsSeparatedFromEmptyPolls pins the satellite fix: a poll of a
+// non-empty ring holding less than a full batch counts as short, not empty.
+func TestShortPollsSeparatedFromEmptyPolls(t *testing.T) {
+	q := MustNew[int](16, WaitSleep)
+	if q.ConsumeBatch(4, false, func([]int) {}) != 0 {
+		t.Fatal("consumed from empty ring")
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.ConsumeBatch(4, false, func([]int) {}) != 0 {
+		t.Fatal("unforced consume fired below a full batch")
+	}
+	s := q.Snapshot()
+	if s.EmptyPolls != 1 || s.ShortPolls != 1 {
+		t.Fatalf("EmptyPolls=%d ShortPolls=%d, want 1 and 1", s.EmptyPolls, s.ShortPolls)
+	}
+	// TryPop on empty also counts an empty poll.
+	q.ConsumeBatch(2, true, func([]int) {})
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from drained ring")
+	}
+	if s := q.Snapshot(); s.EmptyPolls != 2 || s.ShortPolls != 1 {
+		t.Fatalf("after drain: EmptyPolls=%d ShortPolls=%d, want 2 and 1", s.EmptyPolls, s.ShortPolls)
+	}
+}
+
+// TestBusyWaitStatsPerRound pins the satellite fix: a blocked busy-wait
+// push charges FailedPush once per failed round (not once per spin) and
+// counts its rounds in SpinRounds, keeping sleep-vs-busy numbers
+// comparable.
+func TestBusyWaitStatsPerRound(t *testing.T) {
+	q := MustNew[int](2, WaitBusy)
+	q.Push(1)
+	q.Push(2)
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		q.Push(3) // blocks until the consumer frees a slot
+		close(done)
+	}()
+	<-started
+	// Let the blocked producer accumulate spin rounds; stats must not be
+	// read while it runs (they are unsynchronized by contract).
+	time.Sleep(2 * time.Millisecond)
+	if _, ok := q.TryPop(); !ok {
+		t.Fatal("pop failed")
+	}
+	<-done
+	s := q.Snapshot()
+	if s.SpinRounds == 0 {
+		t.Fatal("SpinRounds not counted under WaitBusy")
+	}
+	// One initial failure plus at most one per completed spin round —
+	// the old accounting charged up to 64 per round.
+	if s.FailedPush > s.SpinRounds+1 {
+		t.Fatalf("FailedPush=%d exceeds rounds+1 (SpinRounds=%d): per-spin accounting is back", s.FailedPush, s.SpinRounds)
+	}
+}
+
+// TestCachedIndexStaleness forces maximal cache staleness: the producer
+// fills the ring completely (so its head cache is refreshed exactly at the
+// full boundary) and the consumer drains it completely (tail cache
+// refreshed at the empty boundary), repeatedly, checking FIFO order.
+func TestCachedIndexStaleness(t *testing.T) {
+	q := MustNew[int](4, WaitSleep)
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for q.TryPush(next) {
+			next++
+		}
+		if q.Len() != q.Cap() {
+			t.Fatalf("round %d: ring not full after TryPush run", round)
+		}
+		for {
+			v, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			if v != expect {
+				t.Fatalf("round %d: got %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+		if next != expect {
+			t.Fatalf("round %d: drained %d of %d", round, expect, next)
 		}
 	}
 }
