@@ -20,8 +20,10 @@ func TestRunContextCancellation(t *testing.T) {
 		time.Sleep(3 * time.Millisecond)
 		cancel()
 	}()
+	cfg := testConfig()
+	rec := recordQueues(&cfg)
 	start := time.Now()
-	_, err := RunContext(ctx, spec, testConfig())
+	_, err := RunContext(ctx, spec, cfg)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -30,6 +32,7 @@ func TestRunContextCancellation(t *testing.T) {
 	if el := time.Since(start); el > 5*time.Second {
 		t.Fatalf("cancellation took %v", el)
 	}
+	assertClean(t, rec)
 }
 
 func TestRunContextDeadline(t *testing.T) {
@@ -41,10 +44,13 @@ func TestRunContextDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer cancel()
-	_, err := RunContext(ctx, spec, testConfig())
+	cfg := testConfig()
+	rec := recordQueues(&cfg)
+	_, err := RunContext(ctx, spec, cfg)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
+	assertClean(t, rec)
 }
 
 func TestRunContextBackground(t *testing.T) {

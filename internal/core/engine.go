@@ -29,6 +29,7 @@ import (
 	"ramr/internal/container"
 	"ramr/internal/mr"
 	"ramr/internal/spsc"
+	"ramr/internal/topology"
 	"ramr/internal/trace"
 )
 
@@ -106,17 +107,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	tasks := mr.Tasks(len(spec.Splits), cfg.TaskSize)
 	groups := machine.LocalityGroups()
 	tq := newTaskQueues(tasks, len(groups))
-	// A mapper draws from the group containing its pinned CPU; unpinned
-	// mappers spread round-robin.
-	mapperGroup := make([]int, mappers)
-	for i := range mapperGroup {
-		mapperGroup[i] = i % len(groups)
-		if cpu := plan.MapperCPU[i]; cpu >= 0 {
-			if c, err := machine.CPUByID(cpu); err == nil {
-				mapperGroup[i] = c.Socket
-			}
-		}
-	}
+	mapperGroup := mapperGroups(machine, plan, mappers, len(groups))
 	res.Phases.Partition = time.Since(t0)
 
 	// --- Map-combine: the decoupled, overlapped phase (Fig. 2). ---
@@ -129,6 +120,13 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	var mapWG, combWG sync.WaitGroup
 	var firstErr mr.FirstError
 	var abort atomic.Bool
+	// trip raises the abort flag; the OnAbort hook fires only for the
+	// first worker to trip it.
+	trip := func() {
+		if abort.CompareAndSwap(false, true) {
+			cfg.Hooks.FireOnAbort()
+		}
+	}
 
 	for i := 0; i < mappers; i++ {
 		mapWG.Add(1)
@@ -143,21 +141,30 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			// closes; EmitBatch == 1 bypasses the slab entirely and
 			// emits with single-element Push (the ablation baseline).
 			slab := make([]pair[K, V], 0, emitBatch)
+			failed := false
 			flush := func() {
 				if len(slab) > 0 {
 					q.PushBatch(slab)
 					slab = slab[:0]
 				}
 			}
-			// Deferred LIFO: recover first (a Map panic must not skip
-			// the flush), then flush, then Close — the combiner must
-			// always be notified, and Push after Close panics.
+			// Deferred LIFO: recover first, then flush, then Close —
+			// the combiner must always be notified, and Push after
+			// Close panics. A panicked Map leaves a half-built slab
+			// whose pairs must never reach Combine (the run is
+			// doomed), so the exit flush is skipped on failure while
+			// Close still runs to release the combiner.
 			defer q.Close()
-			defer flush()
+			defer func() {
+				if !failed {
+					flush()
+				}
+			}()
 			defer func() {
 				if r := recover(); r != nil {
-					firstErr.Setf("ramr: map worker %d panicked: %v", i, r)
-					abort.Store(true)
+					failed = true
+					firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("map worker %d", i), Value: r})
+					trip()
 				}
 			}()
 			if cpu := plan.MapperCPU[i]; cpu >= 0 && affinity.Supported() {
@@ -177,10 +184,24 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			if emitBatch <= 1 {
 				emit = func(k K, v V) { q.Push(pair[K, V]{K: k, V: v}) }
 			}
+			var taskHook func(int)
+			if hk := cfg.Hooks; hk != nil {
+				taskHook = hk.MapTask
+				if hk.MapEmit != nil {
+					inner := emit
+					emit = func(k K, v V) {
+						hk.MapEmit(i)
+						inner(k, v)
+					}
+				}
+			}
 			for !abort.Load() && ctx.Err() == nil {
 				lo, hi, ok := tq.next(mapperGroup[i])
 				if !ok {
 					break
+				}
+				if taskHook != nil {
+					taskHook(i)
 				}
 				var end func()
 				if shard != nil {
@@ -206,24 +227,12 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 				if r := recover(); r == nil {
 					return
 				} else {
-					firstErr.Setf("ramr: combine worker %d panicked: %v", j, r)
-					abort.Store(true)
+					firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("combine worker %d", j), Value: r})
+					trip()
 				}
 				// Keep draining (and discarding) so producers blocked
 				// on full rings can run to completion.
-				for {
-					done := true
-					for _, q := range mine {
-						if !q.Drained() {
-							done = false
-							q.ConsumeBatch(batch, true, func([]pair[K, V]) {})
-						}
-					}
-					if done {
-						return
-					}
-					runtime.Gosched()
-				}
+				drainDiscard(mine, batch)
 			}()
 			if cpu := plan.CombinerCPU[j]; cpu >= 0 && affinity.Supported() {
 				unpin, _ := affinity.PinSelf(cpu)
@@ -237,8 +246,28 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			apply := func(batch []pair[K, V]) {
 				c.UpdateBatch(batch, spec.Combine)
 			}
+			var drainHook func(int)
+			if hk := cfg.Hooks; hk != nil {
+				drainHook = hk.CombineDrain
+				if hk.CombineBatch != nil {
+					inner := apply
+					apply = func(batch []pair[K, V]) {
+						hk.CombineBatch(j)
+						inner(batch)
+					}
+				}
+			}
+			draining := false
 			idleRounds := 0
 			for {
+				// Once another worker tripped abort the run is
+				// doomed: stop feeding user Combine and switch to
+				// drain-and-discard so producers blocked on full
+				// rings unwedge without burning user-code cycles.
+				if abort.Load() {
+					drainDiscard(mine, batch)
+					return
+				}
 				var end func()
 				if shard != nil {
 					end = shard.Span("consume", nil)
@@ -251,7 +280,14 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 					alive = true
 					// While the producer is live, wait for full
 					// blocks; once it closed, force-drain the tail.
-					consumed += q.ConsumeBatch(batch, q.Closed(), apply)
+					closed := q.Closed()
+					if closed && !draining {
+						draining = true
+						if drainHook != nil {
+							drainHook(j)
+						}
+					}
+					consumed += q.ConsumeBatch(batch, closed, apply)
 				}
 				if end != nil {
 					if consumed > 0 {
@@ -278,6 +314,16 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	mapWG.Wait()
 	combWG.Wait()
 	res.Phases.MapCombine = time.Since(t0)
+	// The invariant observer and the pre-reduce hook run before the
+	// error checks: a failed run must still report per-queue drain state,
+	// and a cancellation injected at the pre-reduce point must still be
+	// honored by the ctx check below.
+	if hk := cfg.Hooks; hk != nil && hk.QueueObserver != nil {
+		for i, q := range queues {
+			hk.QueueObserver(i, q.Drained(), q.Snapshot())
+		}
+	}
+	cfg.Hooks.FirePreReduce()
 	if err := firstErr.Get(); err != nil {
 		return nil, err
 	}
@@ -316,6 +362,47 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 
 	res.Pairs = pairs
 	return res, nil
+}
+
+// drainDiscard empties every queue in qs without touching user code,
+// looping until all are drained. This is the abort path's release valve:
+// a producer blocked on a full ring is freed only by its consumer, so a
+// doomed combiner must keep popping — and discarding — until every one of
+// its producers has finished its in-flight task and closed.
+func drainDiscard[K comparable, V any](qs []*spsc.Queue[pair[K, V]], batch int) {
+	for {
+		done := true
+		for _, q := range qs {
+			if q.Drained() {
+				continue
+			}
+			done = false
+			q.DiscardBatch(batch)
+		}
+		if done {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// mapperGroups assigns each mapper the locality-group index it draws
+// tasks from: the group containing its pinned CPU, or round-robin for
+// unpinned mappers. Steering goes through Machine.GroupOf because a CPU's
+// Socket field is an OS label that need not be dense — using it directly
+// as a group index would silently alias through the modulo in
+// taskQueues.next and send mappers to remote groups' task queues.
+func mapperGroups(machine *topology.Machine, plan Plan, mappers, groups int) []int {
+	mg := make([]int, mappers)
+	for i := range mg {
+		mg[i] = i % groups
+		if cpu := plan.MapperCPU[i]; cpu >= 0 {
+			if g, ok := machine.GroupOf(cpu); ok {
+				mg[i] = g
+			}
+		}
+	}
+	return mg
 }
 
 // taskQueues holds one FIFO of tasks per locality group, with lock-free

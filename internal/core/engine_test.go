@@ -256,6 +256,81 @@ func TestTaskQueuesConcurrentExactlyOnce(t *testing.T) {
 	}
 }
 
+// nonDenseMachine models firmware that numbers its two packages 0 and 2,
+// as sub-NUMA clustering and offline nodes do on real hosts.
+func nonDenseMachine() *topology.Machine {
+	return &topology.Machine{
+		Name:           "non-dense",
+		Sockets:        2,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		Enum:           topology.EnumCompact,
+		SocketIDs:      []int{0, 2},
+		Caches: []topology.CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: topology.ScopePerCore, LatencyCycles: 4},
+		},
+		MemLatencyCycles: 200,
+	}
+}
+
+// TestMapperGroupsNonDenseSockets is the task-steering regression: a mapper
+// pinned to a CPU on socket *label* 2 of a two-socket machine must draw
+// from locality group 1, not "group 2" — the raw label aliases through the
+// modulo in taskQueues.next and lands the mapper on the wrong NUMA node's
+// task queue.
+func TestMapperGroupsNonDenseSockets(t *testing.T) {
+	machine := nonDenseMachine()
+	groups := machine.LocalityGroups()
+	if len(groups) != 2 {
+		t.Fatalf("%d locality groups, want 2", len(groups))
+	}
+	// CPU 2 is the first core of the second socket (label 2) under
+	// EnumCompact.
+	cpu, err := machine.CPUByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Socket != 2 {
+		t.Fatalf("cpu 2 on socket label %d, want 2", cpu.Socket)
+	}
+	plan := Plan{MapperCPU: []int{-1, 2}, CombinerCPU: []int{-1}}
+	mg := mapperGroups(machine, plan, 2, len(groups))
+	for i, g := range mg {
+		if g < 0 || g >= len(groups) {
+			t.Fatalf("mapper %d steered to group %d, outside [0,%d)", i, g, len(groups))
+		}
+	}
+	if mg[1] != 1 {
+		t.Fatalf("mapper pinned to socket label 2 steered to group %d, want 1", mg[1])
+	}
+	if mg[0] != 0 {
+		t.Fatalf("unpinned mapper steered to group %d, want 0", mg[0])
+	}
+}
+
+// TestRunOnNonDenseSockets runs the full pipeline pinned on the non-dense
+// machine; the host may lack those CPUs (pinning degrades gracefully) but
+// the task steering must stay in range and the result exact.
+func TestRunOnNonDenseSockets(t *testing.T) {
+	spec := countSpec(16, 50, 11)
+	cfg := testConfig()
+	cfg.Mappers = 4
+	cfg.Combiners = 2
+	cfg.Machine = nonDenseMachine()
+	cfg.Pin = mr.PinRAMR
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range res.Pairs {
+		total += p.Value
+	}
+	if total != 16*50 {
+		t.Fatalf("total = %d, want %d", total, 16*50)
+	}
+}
+
 // TestHeavyContention pushes many more elements than queue capacity
 // through a 1:1 pipeline to exercise wraparound, blocking and drain.
 func TestHeavyContention(t *testing.T) {

@@ -96,6 +96,10 @@ type Config struct {
 	// combiners) for Chrome-trace export. Tracing costs one slice
 	// append per span on the hot path.
 	Trace *trace.Collector
+	// Hooks is the test-only fault-injection surface (see Hooks). It
+	// must be nil outside tests; engines never touch a nil Hooks on the
+	// hot path.
+	Hooks *Hooks
 }
 
 // Default knob values; the paper's tuned settings where it states them.

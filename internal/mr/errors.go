@@ -5,6 +5,26 @@ import (
 	"sync"
 )
 
+// PanicError is the error a run returns when user code (Map, Combine,
+// Reduce) — or an injected fault — panics inside a worker. Engines recover
+// the panic, wrap it and report it through FirstError, so a doomed run
+// surfaces an ordinary error instead of killing the process. Tests match
+// it with errors.As rather than grepping the message.
+type PanicError struct {
+	// Engine names the reporting component ("ramr", "phoenix", "mr").
+	Engine string
+	// Worker identifies the panicking worker ("map worker 3", "reduce").
+	Worker string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error renders the conventional "<engine>: <worker> panicked: <value>"
+// message the pre-typed error paths produced.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: %s panicked: %v", e.Engine, e.Worker, e.Value)
+}
+
 // FirstError records the first error reported by any concurrent worker;
 // later reports are dropped. Both engines use it to surface user-code
 // panics (in Map, Combine or Reduce) as ordinary errors instead of

@@ -1,7 +1,6 @@
 package mr
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -29,7 +28,7 @@ func MergeContainers[K comparable, V any](cs []container.Container[K, V], combin
 				defer wg.Done()
 				defer func() {
 					if r := recover(); r != nil {
-						firstErr.Setf("mr: combine panicked during merge: %v", r)
+						firstErr.Set(&PanicError{Engine: "mr", Worker: "combine (merge)", Value: r})
 					}
 				}()
 				container.Merge(dst, src, combine)
@@ -80,7 +79,7 @@ func ReduceAll[K comparable, V, R any](merged container.Container[K, V], reduce 
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					firstErr.Set(fmt.Errorf("mr: reduce panicked: %v", r))
+					firstErr.Set(&PanicError{Engine: "mr", Worker: "reduce", Value: r})
 				}
 			}()
 			for i := lo; i < hi; i++ {

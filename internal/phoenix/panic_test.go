@@ -1,9 +1,24 @@
 package phoenix
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"ramr/internal/faultinject"
+	"ramr/internal/mr"
 )
+
+// assertNoLeaks asserts that no worker goroutine outlives the run.
+func assertNoLeaks(t *testing.T) {
+	t.Helper()
+	if leaked := faultinject.AwaitNoWorkers(10 * time.Second); len(leaked) > 0 {
+		t.Fatalf("%d leaked worker goroutines:\n%s", len(leaked), leaked[0])
+	}
+}
 
 func TestMapPanicBecomesError(t *testing.T) {
 	s := spec(100, 10, 5)
@@ -12,21 +27,31 @@ func TestMapPanicBecomesError(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("map panic not reported: %v", err)
 	}
+	var pe *mr.PanicError
+	if !errors.As(err, &pe) || pe.Engine != "phoenix" {
+		t.Fatalf("err = %#v, want *mr.PanicError from phoenix", err)
+	}
+	assertNoLeaks(t)
 }
 
 func TestCombinePanicBecomesError(t *testing.T) {
 	s := spec(100, 10, 5)
-	n := 0
+	var n atomic.Int64 // Combine runs concurrently on the fused workers
 	s.Combine = func(a, b int) int {
-		n++
-		if n > 50 {
+		if n.Add(1) > 50 {
 			panic("combine exploded")
 		}
 		return a + b
 	}
-	if _, err := Run(s, cfg()); err == nil {
+	_, err := Run(s, cfg())
+	if err == nil {
 		t.Fatal("combine panic not reported")
 	}
+	var pe *mr.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %#v, want *mr.PanicError", err)
+	}
+	assertNoLeaks(t)
 }
 
 func TestReducePanicBecomesError(t *testing.T) {
@@ -36,4 +61,24 @@ func TestReducePanicBecomesError(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "reduce") {
 		t.Fatalf("reduce panic not reported: %v", err)
 	}
+	assertNoLeaks(t)
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	s := spec(400, 50, 7)
+	slowMap := s.Map
+	s.Map = func(sp int, emit func(int, int)) {
+		time.Sleep(200 * time.Microsecond)
+		slowMap(sp, emit)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunContext(ctx, s, cfg())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	assertNoLeaks(t)
 }

@@ -66,14 +66,21 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	var wg sync.WaitGroup
 	var firstErr mr.FirstError
 	var abort atomic.Bool
+	// trip raises the abort flag; the OnAbort hook fires only for the
+	// first worker to trip it.
+	trip := func() {
+		if abort.CompareAndSwap(false, true) {
+			cfg.Hooks.FireOnAbort()
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int, c container.Container[K, V]) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					firstErr.Setf("phoenix: worker %d panicked: %v", w, r)
-					abort.Store(true)
+					firstErr.Set(&mr.PanicError{Engine: "phoenix", Worker: fmt.Sprintf("worker %d", w), Value: r})
+					trip()
 				}
 			}()
 			var shard *trace.Shard
@@ -81,10 +88,24 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 				shard = cfg.Trace.Shard(fmt.Sprintf("worker-%d", w))
 			}
 			emit := func(k K, v V) { c.Update(k, v, spec.Combine) }
+			var taskHook func(int)
+			if hk := cfg.Hooks; hk != nil {
+				taskHook = hk.MapTask
+				if hk.MapEmit != nil {
+					inner := emit
+					emit = func(k K, v V) {
+						hk.MapEmit(w)
+						inner(k, v)
+					}
+				}
+			}
 			for !abort.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
+				}
+				if taskHook != nil {
+					taskHook(w)
 				}
 				var end func()
 				if shard != nil {
@@ -101,6 +122,9 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	}
 	wg.Wait()
 	res.Phases.MapCombine = time.Since(t0)
+	// The pre-reduce hook runs before the error checks so a cancellation
+	// injected there is still honored by the ctx check below.
+	cfg.Hooks.FirePreReduce()
 	if err := firstErr.Get(); err != nil {
 		return nil, err
 	}

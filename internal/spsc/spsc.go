@@ -378,6 +378,37 @@ func (q *Queue[T]) ConsumeBatch(batch int, force bool, f func([]T)) int {
 	return int(consumed)
 }
 
+// DiscardBatch removes up to batch buffered elements without invoking any
+// functor and returns how many were dropped. It is the abort path's
+// drain-and-discard primitive: once a run is doomed, consumers stop
+// paying for user code but must keep emptying the ring so a producer
+// blocked in waitUntil is released. Dropped slots are zeroed for GC and
+// counted as Pops, so the conservation invariant (Pushes == Pops on a
+// drained queue) holds even for runs that die mid-pipeline. Consumer side.
+func (q *Queue[T]) DiscardBatch(batch int) int {
+	if batch <= 0 {
+		batch = 1
+	}
+	h := q.head.Load()
+	q.tailCache = q.tail.Load()
+	avail := q.tailCache - h
+	if avail == 0 {
+		q.cons.emptyPolls++
+		return 0
+	}
+	take := uint64(batch)
+	if avail < take {
+		take = avail
+	}
+	var zero T
+	for i := uint64(0); i < take; i++ {
+		q.buf[(h+i)&q.mask] = zero
+	}
+	q.head.Store(h + take)
+	q.cons.pops += take
+	return int(take)
+}
+
 // Drained reports whether the producer closed the queue and every element
 // has been consumed — the combiner exit condition.
 func (q *Queue[T]) Drained() bool {

@@ -466,3 +466,68 @@ func TestCachedIndexStaleness(t *testing.T) {
 		}
 	}
 }
+
+// TestDiscardBatch pins the abort path's release valve: DiscardBatch frees
+// ring slots without a functor, zeroes the vacated slots for GC, and keeps
+// element conservation (Pops counts discarded elements like consumed ones).
+func TestDiscardBatch(t *testing.T) {
+	q := MustNew[*int](8, WaitSleep)
+	for i := 0; i < 6; i++ {
+		v := i
+		q.Push(&v)
+	}
+	if n := q.DiscardBatch(4); n != 4 {
+		t.Fatalf("discarded %d, want 4", n)
+	}
+	if n := q.DiscardBatch(4); n != 2 {
+		t.Fatalf("discarded %d of the tail, want 2", n)
+	}
+	if n := q.DiscardBatch(4); n != 0 {
+		t.Fatalf("discarded %d from empty ring, want 0", n)
+	}
+	s := q.Snapshot()
+	if s.Pushes != 6 || s.Pops != 6 {
+		t.Fatalf("conservation broken: %+v", s)
+	}
+	if s.EmptyPolls == 0 {
+		t.Fatal("empty discard not counted as an empty poll")
+	}
+	// Vacated slots must not pin the discarded values.
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d still references a discarded element", i)
+		}
+	}
+	q.Close()
+	if !q.Drained() {
+		t.Fatal("queue not drained after discarding everything")
+	}
+}
+
+// TestDiscardBatchUnblocksProducer shows DiscardBatch freeing a producer
+// blocked on a full ring — the reason the abort path can discard instead of
+// combine without wedging the pipeline.
+func TestDiscardBatchUnblocksProducer(t *testing.T) {
+	q := MustNew[int](4, WaitSleep)
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Push(99) // blocks until a slot frees
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("push completed on a full ring")
+	case <-time.After(10 * time.Millisecond):
+	}
+	for q.DiscardBatch(2) == 0 {
+		runtime.Gosched()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked producer not released by DiscardBatch")
+	}
+}

@@ -96,12 +96,22 @@ func detectSysfs(base string) (*Machine, error) {
 		return nil, err
 	}
 
+	// Preserve the real package ids: firmware may number sockets with
+	// gaps (offline nodes, sub-NUMA clustering), and the locality-group
+	// machinery distinguishes socket labels from dense group indices.
+	socketIDs := make([]int, 0, len(sockets))
+	for id := range sockets {
+		socketIDs = append(socketIDs, id)
+	}
+	sort.Ints(socketIDs)
+
 	m := &Machine{
 		Name:           "detected-host",
 		Sockets:        len(sockets),
 		CoresPerSocket: cps,
 		ThreadsPerCore: tpc,
 		Enum:           enum,
+		SocketIDs:      socketIDs,
 		Caches: []CacheLevel{
 			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
 			{Level: 2, SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 12},

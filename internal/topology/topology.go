@@ -87,6 +87,10 @@ type CPU struct {
 	// ID is the OS logical CPU number.
 	ID int
 	// Socket is the socket (== NUMA node on both evaluation platforms).
+	// It is the OS-assigned *label* of the socket, not a dense index:
+	// firmware with offline nodes or sub-NUMA clustering leaves gaps in
+	// the numbering, so code needing a dense index must go through
+	// Machine.GroupOf / LocalityGroups rather than using Socket directly.
 	Socket int
 	// Core is the machine-global physical core index.
 	Core int
@@ -114,9 +118,15 @@ type Machine struct {
 	// CrossSocketPenaltyCycles is the extra latency of a remote-socket
 	// access (QPI hop on Haswell; zero on the single-die Xeon Phi).
 	CrossSocketPenaltyCycles int
+	// SocketIDs optionally carries the OS-assigned id of each socket
+	// (physical_package_id), in ascending order. Real firmware does not
+	// promise dense numbering, so when set these become the CPU.Socket
+	// labels; nil means the dense default 0..Sockets-1.
+	SocketIDs []int
 
-	cpus   []CPU       // lazily built, indexed by logical id
-	byCore map[int]int // first logical id per global core, for tests
+	cpus    []CPU       // lazily built, indexed by logical id
+	byCore  map[int]int // first logical id per global core, for tests
+	groupOf map[int]int // socket label -> LocalityGroups index
 }
 
 // NumCPUs returns the number of logical CPUs.
@@ -150,6 +160,10 @@ func (m *Machine) build() {
 	n := m.NumCPUs()
 	m.cpus = make([]CPU, n)
 	m.byCore = make(map[int]int)
+	m.groupOf = make(map[int]int)
+	for s := 0; s < m.Sockets; s++ {
+		m.groupOf[m.socketID(s)] = s
+	}
 	id := 0
 	switch m.Enum {
 	case EnumSMTLast:
@@ -157,7 +171,7 @@ func (m *Machine) build() {
 			for s := 0; s < m.Sockets; s++ {
 				for c := 0; c < m.CoresPerSocket; c++ {
 					core := s*m.CoresPerSocket + c
-					m.cpus[id] = CPU{ID: id, Socket: s, Core: core, SMT: smt}
+					m.cpus[id] = CPU{ID: id, Socket: m.socketID(s), Core: core, SMT: smt}
 					if smt == 0 {
 						m.byCore[core] = id
 					}
@@ -170,7 +184,7 @@ func (m *Machine) build() {
 			for c := 0; c < m.CoresPerSocket; c++ {
 				core := s*m.CoresPerSocket + c
 				for smt := 0; smt < m.ThreadsPerCore; smt++ {
-					m.cpus[id] = CPU{ID: id, Socket: s, Core: core, SMT: smt}
+					m.cpus[id] = CPU{ID: id, Socket: m.socketID(s), Core: core, SMT: smt}
 					if smt == 0 {
 						m.byCore[core] = id
 					}
@@ -181,6 +195,14 @@ func (m *Machine) build() {
 	default:
 		panic(fmt.Sprintf("topology: unknown enumeration %d", m.Enum))
 	}
+}
+
+// socketID maps a dense socket position to its OS label.
+func (m *Machine) socketID(s int) int {
+	if m.SocketIDs != nil {
+		return m.SocketIDs[s]
+	}
+	return s
 }
 
 // Distance quantifies communication cost between two logical CPUs:
@@ -260,17 +282,34 @@ func (m *Machine) Cache(level int) (CacheLevel, bool) {
 }
 
 // LocalityGroups partitions the logical CPUs by NUMA node, returning one
-// slice of logical ids per node. RAMR keeps one task queue per locality
-// group so mappers dequeue NUMA-local splits.
+// slice of logical ids per node, in ascending socket-label order. RAMR
+// keeps one task queue per locality group so mappers dequeue NUMA-local
+// splits. Group positions are dense even when socket labels are not; use
+// GroupOf to translate a CPU into its group index.
 func (m *Machine) LocalityGroups() [][]int {
 	groups := make([][]int, m.Sockets)
 	for _, c := range m.CPUs() {
-		groups[c.Socket] = append(groups[c.Socket], c.ID)
+		g := m.groupOf[c.Socket]
+		groups[g] = append(groups[g], c.ID)
 	}
 	for _, g := range groups {
 		sort.Ints(g)
 	}
 	return groups
+}
+
+// GroupOf returns the locality-group index (the CPU's position in
+// LocalityGroups) of the given logical CPU. The second result is false
+// when the id is out of range. The group index — not the raw CPU.Socket
+// label — is what task-queue steering must use: on machines with
+// non-dense socket numbering the label can exceed the group count.
+func (m *Machine) GroupOf(cpuID int) (int, bool) {
+	cpus := m.CPUs()
+	if cpuID < 0 || cpuID >= len(cpus) {
+		return 0, false
+	}
+	g, ok := m.groupOf[cpus[cpuID].Socket]
+	return g, ok
 }
 
 // CompactOrder returns logical CPU ids reordered so that consecutive
@@ -333,6 +372,16 @@ func (m *Machine) Validate() error {
 	}
 	if len(m.Caches) == 0 {
 		return fmt.Errorf("topology: %s: no cache levels", m.Name)
+	}
+	if m.SocketIDs != nil {
+		if len(m.SocketIDs) != m.Sockets {
+			return fmt.Errorf("topology: %s: %d socket ids for %d sockets", m.Name, len(m.SocketIDs), m.Sockets)
+		}
+		for i := 1; i < len(m.SocketIDs); i++ {
+			if m.SocketIDs[i] <= m.SocketIDs[i-1] {
+				return fmt.Errorf("topology: %s: socket ids must strictly ascend, got %v", m.Name, m.SocketIDs)
+			}
+		}
 	}
 	prev := 0
 	for _, c := range m.Caches {

@@ -243,3 +243,80 @@ func TestMachineString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// nonDense builds a two-socket machine whose firmware numbers its packages
+// 0 and 2 — the gap real hosts get from offline NUMA nodes or sub-NUMA
+// clustering.
+func nonDense() *Machine {
+	m := HaswellServer()
+	m.Name = "haswell-non-dense"
+	m.SocketIDs = []int{0, 2}
+	return m
+}
+
+// TestLocalityGroupsNonDenseSockets pins that group positions stay dense
+// (0..Sockets-1) even when socket labels are not: the old label-as-index
+// scheme would have indexed groups[2] out of a 2-element slice.
+func TestLocalityGroupsNonDenseSockets(t *testing.T) {
+	m := nonDense()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups := m.LocalityGroups()
+	if len(groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(groups))
+	}
+	total := 0
+	wantLabel := []int{0, 2}
+	for g, cpus := range groups {
+		total += len(cpus)
+		for _, id := range cpus {
+			c, err := m.CPUByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Socket != wantLabel[g] {
+				t.Fatalf("cpu %d in group %d carries socket label %d, want %d", id, g, c.Socket, wantLabel[g])
+			}
+		}
+	}
+	if total != m.NumCPUs() {
+		t.Fatalf("groups cover %d cpus, want %d", total, m.NumCPUs())
+	}
+}
+
+// TestGroupOfNonDenseSockets: GroupOf translates every CPU to a dense group
+// index consistent with its position in LocalityGroups.
+func TestGroupOfNonDenseSockets(t *testing.T) {
+	m := nonDense()
+	groups := m.LocalityGroups()
+	for g, cpus := range groups {
+		for _, id := range cpus {
+			got, ok := m.GroupOf(id)
+			if !ok || got != g {
+				t.Fatalf("GroupOf(%d) = %d,%v, want %d,true", id, got, ok, g)
+			}
+		}
+	}
+	if _, ok := m.GroupOf(-1); ok {
+		t.Fatal("GroupOf accepted a negative id")
+	}
+	if _, ok := m.GroupOf(m.NumCPUs()); ok {
+		t.Fatal("GroupOf accepted an out-of-range id")
+	}
+}
+
+// TestValidateSocketIDs: the label list must match the socket count and
+// strictly ascend.
+func TestValidateSocketIDs(t *testing.T) {
+	short := HaswellServer()
+	short.SocketIDs = []int{0}
+	if err := short.Validate(); err == nil {
+		t.Fatal("short SocketIDs accepted")
+	}
+	dup := HaswellServer()
+	dup.SocketIDs = []int{1, 1}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("non-ascending SocketIDs accepted")
+	}
+}
