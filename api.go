@@ -36,6 +36,7 @@ import (
 	"ramr/internal/core"
 	"ramr/internal/mr"
 	"ramr/internal/spsc"
+	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
 )
@@ -154,6 +155,36 @@ type TraceCollector = trace.Collector
 
 // NewTrace returns a collector ready to assign to Config.Trace.
 func NewTrace() *TraceCollector { return trace.New() }
+
+// Telemetry is the live observability layer: assign one to
+// Config.Telemetry and the engines record per-worker counters and sample
+// every SPSC ring's occupancy into a bounded time-series while the job
+// runs. Export live via WritePrometheus/NewTelemetryServer, or read the
+// structured report from Result.Telemetry after the run.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryReport is the structured result of one instrumented run:
+// counter totals, occupancy percentiles per queue, per-phase throughput
+// and the sampled time-series. Dump with WriteJSON or Summary.
+type TelemetryReport = telemetry.Report
+
+// NewTelemetry returns a Telemetry with default sampling knobs, ready to
+// assign to Config.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetryServer serves /metrics (Prometheus text format) and the
+// net/http/pprof endpoints for a Telemetry.
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryServer starts a TelemetryServer on addr (":0" picks a free
+// port; read it back with Addr).
+func NewTelemetryServer(t *Telemetry, addr string) (*TelemetryServer, error) {
+	return telemetry.NewServer(t, addr)
+}
+
+// QueueStats aggregates the SPSC queue counters of one RAMR run; see
+// Result.QueueStats and its String/FailedPushRate/ShortPollRate helpers.
+type QueueStats = mr.QueueStats
 
 // IterInfo summarizes an Iterate loop (iterations, convergence, phases).
 type IterInfo = mr.IterInfo

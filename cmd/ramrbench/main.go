@@ -6,20 +6,42 @@
 //	ramrbench fig5 fig8a
 //	ramrbench -quick all
 //	ramrbench -csv fig7 > fig7.csv
+//	ramrbench -metrics-out metrics.json -trace-out trace.json tasksize
 //
 // Experiment ids follow the paper: table1, fig1, fig3, fig4, fig5, fig6,
 // fig7, fig8a, fig8b, fig9a, fig9b, fig10a, fig10b, plus native8a/native8b
 // which re-run the engine comparison with the real runtimes on this host.
+//
+// -metrics-out and -trace-out instrument the native experiments (fig1,
+// fig4, native8a/b, tasksize); modeled figures run through simarch and are
+// unaffected. The metrics JSON describes the last native run performed,
+// the Chrome trace accumulates spans from every measured run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"ramr/internal/harness"
+	"ramr/internal/telemetry"
+	"ramr/internal/trace"
 )
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // writeCSVFile writes one report as <dir>/<id>.csv.
 func writeCSVFile(dir string, rep *harness.Report) error {
@@ -41,6 +63,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink native inputs and repetition counts (CI mode)")
 	seed := flag.Int64("seed", 42, "input-generator seed")
 	runs := flag.Int("runs", 0, "repetitions for native timing experiments (0 = default)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry report of the last native run as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the native runs to this file (view at chrome://tracing)")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +87,12 @@ func main() {
 	}
 
 	opt := harness.Options{Seed: *seed, Quick: *quick, Runs: *runs}
+	if *metricsOut != "" {
+		opt.Telemetry = telemetry.New()
+	}
+	if *traceOut != "" {
+		opt.Trace = trace.New()
+	}
 	for _, id := range ids {
 		exp, err := harness.ByID(id)
 		if err != nil {
@@ -90,6 +120,34 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if opt.Telemetry != nil {
+		rep := opt.Telemetry.LastReport()
+		if rep == nil {
+			fmt.Fprintln(os.Stderr, "ramrbench: -metrics-out: no native run executed (modeled experiments are not instrumented)")
+			os.Exit(1)
+		}
+		if err := writeFileWith(*metricsOut, rep.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.Summary(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry report (last native run) written to %s\n", *metricsOut)
+	}
+	if opt.Trace != nil {
+		if err := writeFileWith(*traceOut, opt.Trace.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s; per-worker utilization:\n", *traceOut)
+		if err := opt.Trace.Summary(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ramrbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -109,9 +109,7 @@ func main() {
 	fmt.Printf("phases: %s\n", info.Phases)
 	fmt.Printf("output keys: %d  digest: %#x\n", info.Pairs, info.Digest)
 	if eng == workloads.EngineRAMR {
-		q := info.Queue
-		fmt.Printf("queues: %d pushed, %d failed pushes, %d spin rounds, %d batch calls, %d empty polls, %d short polls, %dus slept\n",
-			q.Pushes, q.FailedPush, q.SpinRounds, q.BatchCalls, q.EmptyPolls, q.ShortPolls, q.SleepMicros)
+		fmt.Printf("queues: %s\n", info.Queue)
 	}
 	if collector != nil {
 		f, err := os.Create(*traceOut)

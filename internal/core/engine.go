@@ -21,6 +21,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"ramr/internal/container"
 	"ramr/internal/mr"
 	"ramr/internal/spsc"
+	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
 )
@@ -68,6 +71,15 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 
 	res := &mr.Result[K, R]{}
 
+	// The telemetry layer is captured into a local once (like Hooks) so
+	// the nil check never sits on a hot path; Stop is deferred so error
+	// returns can never leak the sampler goroutine.
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.BeginRun("ramr")
+		defer tel.Stop()
+	}
+
 	// --- Init: pools, queues, containers, pinning plan (Fig. 2 top). ---
 	t0 := time.Now()
 	queues := make([]*spsc.Queue[pair[K, V]], mappers)
@@ -77,6 +89,9 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 			return nil, err
 		}
 		queues[i] = q
+		if tel != nil {
+			tel.RegisterQueue(fmt.Sprintf("mapper-%d", i), q)
+		}
 	}
 	containers := make([]container.Container[K, V], combiners)
 	for j := range containers {
@@ -130,91 +145,126 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 
 	for i := 0; i < mappers; i++ {
 		mapWG.Add(1)
+		// pprof.Do labels the goroutine (engine/role/worker) so CPU
+		// profiles segment mapper time from combiner time; the worker
+		// body runs inside the labeled closure so its defers — recover
+		// included — stay in the panicking frame chain.
 		go func(i int) {
 			defer mapWG.Done()
-			q := queues[i]
-			// Emitted pairs are staged in a producer-local slab and
-			// published as blocks, so the shared tail index (and the
-			// cross-core traffic on its cache line) is touched once
-			// per slab instead of once per pair. The slab flushes on
-			// fill, at every task boundary, and before the queue
-			// closes; EmitBatch == 1 bypasses the slab entirely and
-			// emits with single-element Push (the ablation baseline).
-			slab := make([]pair[K, V], 0, emitBatch)
-			failed := false
-			flush := func() {
-				if len(slab) > 0 {
-					q.PushBatch(slab)
-					slab = slab[:0]
+			labels := pprof.Labels("engine", "ramr", "role", "mapper", "worker", strconv.Itoa(i))
+			pprof.Do(ctx, labels, func(context.Context) {
+				q := queues[i]
+				var tw *telemetry.Worker
+				if tel != nil {
+					tw = tel.RegisterWorker("mapper", i)
 				}
-			}
-			// Deferred LIFO: recover first, then flush, then Close —
-			// the combiner must always be notified, and Push after
-			// Close panics. A panicked Map leaves a half-built slab
-			// whose pairs must never reach Combine (the run is
-			// doomed), so the exit flush is skipped on failure while
-			// Close still runs to release the combiner.
-			defer q.Close()
-			defer func() {
-				if !failed {
-					flush()
+				// Emitted pairs are staged in a producer-local slab and
+				// published as blocks, so the shared tail index (and the
+				// cross-core traffic on its cache line) is touched once
+				// per slab instead of once per pair. The slab flushes on
+				// fill, at every task boundary, and before the queue
+				// closes; EmitBatch == 1 bypasses the slab entirely and
+				// emits with single-element Push (the ablation baseline).
+				slab := make([]pair[K, V], 0, emitBatch)
+				failed := false
+				flush := func() {
+					if len(slab) > 0 {
+						q.PushBatch(slab)
+						slab = slab[:0]
+					}
 				}
-			}()
-			defer func() {
-				if r := recover(); r != nil {
-					failed = true
-					firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("map worker %d", i), Value: r})
-					trip()
+				// Deferred LIFO: recover first, then flush, then Close —
+				// the combiner must always be notified, and Push after
+				// Close panics. A panicked Map leaves a half-built slab
+				// whose pairs must never reach Combine (the run is
+				// doomed), so the exit flush is skipped on failure while
+				// Close still runs to release the combiner.
+				defer q.Close()
+				defer func() {
+					if !failed {
+						flush()
+					}
+					if tw != nil {
+						_, fp, sl := q.ProducerStats()
+						tw.StoreProducer(fp, sl)
+						tw.SetState(telemetry.StateDone)
+					}
+				}()
+				defer func() {
+					if r := recover(); r != nil {
+						failed = true
+						firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("map worker %d", i), Value: r})
+						trip()
+					}
+				}()
+				if cpu := plan.MapperCPU[i]; cpu >= 0 && affinity.Supported() {
+					unpin, _ := affinity.PinSelf(cpu)
+					defer unpin()
 				}
-			}()
-			if cpu := plan.MapperCPU[i]; cpu >= 0 && affinity.Supported() {
-				unpin, _ := affinity.PinSelf(cpu)
-				defer unpin()
-			}
-			var shard *trace.Shard
-			if cfg.Trace != nil {
-				shard = cfg.Trace.Shard(fmt.Sprintf("mapper-%d", i))
-			}
-			emit := func(k K, v V) {
-				slab = append(slab, pair[K, V]{K: k, V: v})
-				if len(slab) == cap(slab) {
-					flush()
+				var shard *trace.Shard
+				if cfg.Trace != nil {
+					shard = cfg.Trace.Shard(fmt.Sprintf("mapper-%d", i))
 				}
-			}
-			if emitBatch <= 1 {
-				emit = func(k K, v V) { q.Push(pair[K, V]{K: k, V: v}) }
-			}
-			var taskHook func(int)
-			if hk := cfg.Hooks; hk != nil {
-				taskHook = hk.MapTask
-				if hk.MapEmit != nil {
+				emit := func(k K, v V) {
+					slab = append(slab, pair[K, V]{K: k, V: v})
+					if len(slab) == cap(slab) {
+						flush()
+					}
+				}
+				if emitBatch <= 1 {
+					emit = func(k K, v V) { q.Push(pair[K, V]{K: k, V: v}) }
+				}
+				// The emit counter is a plain local flushed into the
+				// worker's atomic at task boundaries, so per-pair cost
+				// with telemetry on is one non-atomic increment.
+				emitted := 0
+				if tw != nil {
 					inner := emit
 					emit = func(k K, v V) {
-						hk.MapEmit(i)
+						emitted++
 						inner(k, v)
 					}
 				}
-			}
-			for !abort.Load() && ctx.Err() == nil {
-				lo, hi, ok := tq.next(mapperGroup[i])
-				if !ok {
-					break
+				var taskHook func(int)
+				if hk := cfg.Hooks; hk != nil {
+					taskHook = hk.MapTask
+					if hk.MapEmit != nil {
+						inner := emit
+						emit = func(k K, v V) {
+							hk.MapEmit(i)
+							inner(k, v)
+						}
+					}
 				}
-				if taskHook != nil {
-					taskHook(i)
+				tw.SetState(telemetry.StateWorking)
+				for !abort.Load() && ctx.Err() == nil {
+					lo, hi, ok := tq.next(mapperGroup[i])
+					if !ok {
+						break
+					}
+					if taskHook != nil {
+						taskHook(i)
+					}
+					var end func()
+					if shard != nil {
+						end = shard.Span("task", map[string]any{"splits": hi - lo})
+					}
+					for s := lo; s < hi; s++ {
+						spec.Map(spec.Splits[s], emit)
+					}
+					flush()
+					if end != nil {
+						end()
+					}
+					if tw != nil {
+						tw.AddTasks(1)
+						tw.AddEmitted(emitted)
+						emitted = 0
+						_, fp, sl := q.ProducerStats()
+						tw.StoreProducer(fp, sl)
+					}
 				}
-				var end func()
-				if shard != nil {
-					end = shard.Span("task", map[string]any{"splits": hi - lo})
-				}
-				for s := lo; s < hi; s++ {
-					spec.Map(spec.Splits[s], emit)
-				}
-				flush()
-				if end != nil {
-					end()
-				}
-			}
+			})
 		}(i)
 	}
 
@@ -222,92 +272,123 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 		combWG.Add(1)
 		go func(j int) {
 			defer combWG.Done()
-			mine := queues[assign[j][0]:assign[j][1]]
-			defer func() {
-				if r := recover(); r == nil {
-					return
-				} else {
-					firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("combine worker %d", j), Value: r})
-					trip()
+			labels := pprof.Labels("engine", "ramr", "role", "combiner", "worker", strconv.Itoa(j))
+			pprof.Do(ctx, labels, func(context.Context) {
+				mine := queues[assign[j][0]:assign[j][1]]
+				var tw *telemetry.Worker
+				if tel != nil {
+					tw = tel.RegisterWorker("combiner", j)
 				}
-				// Keep draining (and discarding) so producers blocked
-				// on full rings can run to completion.
-				drainDiscard(mine, batch)
-			}()
-			if cpu := plan.CombinerCPU[j]; cpu >= 0 && affinity.Supported() {
-				unpin, _ := affinity.PinSelf(cpu)
-				defer unpin()
-			}
-			var shard *trace.Shard
-			if cfg.Trace != nil {
-				shard = cfg.Trace.Shard(fmt.Sprintf("combiner-%d", j))
-			}
-			c := containers[j]
-			apply := func(batch []pair[K, V]) {
-				c.UpdateBatch(batch, spec.Combine)
-			}
-			var drainHook func(int)
-			if hk := cfg.Hooks; hk != nil {
-				drainHook = hk.CombineDrain
-				if hk.CombineBatch != nil {
+				defer tw.SetState(telemetry.StateDone)
+				defer func() {
+					if r := recover(); r == nil {
+						return
+					} else {
+						firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("combine worker %d", j), Value: r})
+						trip()
+					}
+					// Keep draining (and discarding) so producers blocked
+					// on full rings can run to completion.
+					drainDiscard(mine, batch)
+				}()
+				if cpu := plan.CombinerCPU[j]; cpu >= 0 && affinity.Supported() {
+					unpin, _ := affinity.PinSelf(cpu)
+					defer unpin()
+				}
+				var shard *trace.Shard
+				if cfg.Trace != nil {
+					shard = cfg.Trace.Shard(fmt.Sprintf("combiner-%d", j))
+				}
+				c := containers[j]
+				apply := func(batch []pair[K, V]) {
+					c.UpdateBatch(batch, spec.Combine)
+				}
+				if tw != nil {
 					inner := apply
 					apply = func(batch []pair[K, V]) {
-						hk.CombineBatch(j)
+						tw.AddCombined(len(batch))
+						tw.AddBatches(1)
 						inner(batch)
 					}
 				}
-			}
-			draining := false
-			idleRounds := 0
-			for {
-				// Once another worker tripped abort the run is
-				// doomed: stop feeding user Combine and switch to
-				// drain-and-discard so producers blocked on full
-				// rings unwedge without burning user-code cycles.
-				if abort.Load() {
-					drainDiscard(mine, batch)
-					return
-				}
-				var end func()
-				if shard != nil {
-					end = shard.Span("consume", nil)
-				}
-				consumed, alive := 0, false
-				for _, q := range mine {
-					if q.Drained() {
-						continue
-					}
-					alive = true
-					// While the producer is live, wait for full
-					// blocks; once it closed, force-drain the tail.
-					closed := q.Closed()
-					if closed && !draining {
-						draining = true
-						if drainHook != nil {
-							drainHook(j)
+				var drainHook func(int)
+				if hk := cfg.Hooks; hk != nil {
+					drainHook = hk.CombineDrain
+					if hk.CombineBatch != nil {
+						inner := apply
+						apply = func(batch []pair[K, V]) {
+							hk.CombineBatch(j)
+							inner(batch)
 						}
 					}
-					consumed += q.ConsumeBatch(batch, closed, apply)
 				}
-				if end != nil {
-					if consumed > 0 {
-						end()
+				// state stores only on transitions so a polling round
+				// costs no atomic traffic while the state is stable.
+				curState := telemetry.StateIdle
+				setState := func(s telemetry.State) {
+					if s != curState {
+						curState = s
+						tw.SetState(s)
 					}
 				}
-				if !alive {
-					return
-				}
-				if consumed == 0 {
-					idleRounds++
-					if idleRounds < 4 {
-						runtime.Gosched()
+				draining := false
+				idleRounds := 0
+				for {
+					// Once another worker tripped abort the run is
+					// doomed: stop feeding user Combine and switch to
+					// drain-and-discard so producers blocked on full
+					// rings unwedge without burning user-code cycles.
+					if abort.Load() {
+						drainDiscard(mine, batch)
+						return
+					}
+					var end func()
+					if shard != nil {
+						end = shard.Span("consume", nil)
+					}
+					consumed, alive := 0, false
+					for _, q := range mine {
+						if q.Drained() {
+							continue
+						}
+						alive = true
+						// While the producer is live, wait for full
+						// blocks; once it closed, force-drain the tail.
+						closed := q.Closed()
+						if closed && !draining {
+							draining = true
+							if drainHook != nil {
+								drainHook(j)
+							}
+						}
+						consumed += q.ConsumeBatch(batch, closed, apply)
+					}
+					if end != nil {
+						if consumed > 0 {
+							end()
+						}
+					}
+					if !alive {
+						return
+					}
+					if consumed == 0 {
+						idleRounds++
+						setState(telemetry.StateIdle)
+						if idleRounds < 4 {
+							runtime.Gosched()
+						} else {
+							time.Sleep(combinerIdle)
+						}
 					} else {
-						time.Sleep(combinerIdle)
+						idleRounds = 0
+						if draining {
+							setState(telemetry.StateDraining)
+						} else {
+							setState(telemetry.StateWorking)
+						}
 					}
-				} else {
-					idleRounds = 0
 				}
-			}
+			})
 		}(j)
 	}
 
@@ -332,15 +413,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	}
 
 	for _, q := range queues {
-		s := q.Snapshot()
-		res.QueueStats.Pushes += s.Pushes
-		res.QueueStats.FailedPush += s.FailedPush
-		res.QueueStats.SpinRounds += s.SpinRounds
-		res.QueueStats.Pops += s.Pops
-		res.QueueStats.EmptyPolls += s.EmptyPolls
-		res.QueueStats.ShortPolls += s.ShortPolls
-		res.QueueStats.BatchCalls += s.BatchCalls
-		res.QueueStats.SleepMicros += s.SleepMicros
+		res.QueueStats.Add(q.Snapshot())
 	}
 
 	// --- Reduce: identical to the baseline from here on. ---
@@ -361,6 +434,9 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	res.Phases.Merge = time.Since(t0)
 
 	res.Pairs = pairs
+	if tel != nil {
+		res.Telemetry = tel.EndRun(res.Phases.SecondsByPhase())
+	}
 	return res, nil
 }
 

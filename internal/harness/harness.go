@@ -16,6 +16,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"ramr/internal/telemetry"
+	"ramr/internal/trace"
 )
 
 // Options configures an experiment run.
@@ -27,6 +30,13 @@ type Options struct {
 	// Runs is the repetition count for native timing experiments (the
 	// paper averages 20 runs); 0 picks a default.
 	Runs int
+	// Trace, when non-nil, collects per-worker spans from every measured
+	// native run into one timeline (ratio probes stay uninstrumented).
+	Trace *trace.Collector
+	// Telemetry, when non-nil, instruments every measured native run;
+	// after the experiment, Telemetry.LastReport() describes the final
+	// run performed.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultOptions returns the standard configuration.

@@ -21,8 +21,19 @@ func init() {
 }
 
 // hostConfig returns a runnable configuration for the current host with
-// the given mapper/combiner split of the total worker budget.
-func hostConfig(ratio int) mr.Config {
+// the given mapper/combiner split of the total worker budget, attaching
+// the Options' trace collector and telemetry so measured runs are
+// observable. Ratio probes (bestHostRatio) use bareHostConfig instead to
+// keep throwaway runs out of the instrumentation.
+func (o Options) hostConfig(ratio int) mr.Config {
+	cfg := bareHostConfig(ratio)
+	cfg.Trace = o.Trace
+	cfg.Telemetry = o.Telemetry
+	return cfg
+}
+
+// bareHostConfig is hostConfig without instrumentation.
+func bareHostConfig(ratio int) mr.Config {
 	cfg := mr.DefaultConfig()
 	total := runtime.GOMAXPROCS(0)
 	if total < 2 {
@@ -70,7 +81,7 @@ func runFig1(o Options) (*Report, error) {
 	if o.Quick {
 		class = workloads.Small
 	}
-	cfg := hostConfig(1)
+	cfg := o.hostConfig(1)
 	var mcSum float64
 	for _, app := range suite {
 		job, err := workloads.NewJob(app, workloads.HWL, class, containerFor(app, false), o.Seed)
@@ -128,7 +139,7 @@ func runFig4(o Options) (*Report, error) {
 			label: fmt.Sprintf("RAMR ratio=%d", ratio),
 			run: func(p synth.Params) (float64, error) {
 				job := synth.NewJob(p, o.Seed)
-				m, _, err := timeJob(job, workloads.EngineRAMR, hostConfig(ratio), runs)
+				m, _, err := timeJob(job, workloads.EngineRAMR, o.hostConfig(ratio), runs)
 				return m, err
 			},
 		})
@@ -137,7 +148,7 @@ func runFig4(o Options) (*Report, error) {
 		label: "Phoenix++",
 		run: func(p synth.Params) (float64, error) {
 			job := synth.NewJob(p, o.Seed)
-			m, _, err := timeJob(job, workloads.EnginePhoenix, hostConfig(1), runs)
+			m, _, err := timeJob(job, workloads.EnginePhoenix, o.hostConfig(1), runs)
 			return m, err
 		},
 	})
@@ -187,11 +198,11 @@ func nativeSpeedups(stress bool) func(Options) (*Report, error) {
 				}
 				// Ratio tuned per app on the host (the paper tunes the
 				// mapper/combiner ratio per application), then measured.
-				ra, _, err := timeJob(job, workloads.EngineRAMR, hostConfig(bestHostRatio(job)), runs)
+				ra, _, err := timeJob(job, workloads.EngineRAMR, o.hostConfig(bestHostRatio(job)), runs)
 				if err != nil {
 					return nil, err
 				}
-				ph, _, err := timeJob(job, workloads.EnginePhoenix, hostConfig(1), runs)
+				ph, _, err := timeJob(job, workloads.EnginePhoenix, o.hostConfig(1), runs)
 				if err != nil {
 					return nil, err
 				}
@@ -212,7 +223,7 @@ func bestHostRatio(job *workloads.Job) int {
 	best, bestR := 0.0, 1
 	for _, ratio := range []int{1, 2, 4} {
 		start := time.Now()
-		if _, err := job.Run(workloads.EngineRAMR, hostConfig(ratio)); err != nil {
+		if _, err := job.Run(workloads.EngineRAMR, bareHostConfig(ratio)); err != nil {
 			continue
 		}
 		el := time.Since(start).Seconds()
@@ -257,7 +268,7 @@ func runTaskSize(o Options) (*Report, error) {
 		}
 		var vals []float64
 		for _, ts := range sizes {
-			cfg := hostConfig(1)
+			cfg := o.hostConfig(1)
 			cfg.TaskSize = ts
 			m, _, err := timeJob(job, workloads.EngineRAMR, cfg, runs)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"ramr/internal/spsc"
+	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
 )
@@ -96,6 +97,16 @@ type Config struct {
 	// combiners) for Chrome-trace export. Tracing costs one slice
 	// append per span on the hot path.
 	Trace *trace.Collector
+	// Telemetry, when non-nil, enables the live observability layer:
+	// per-worker counters, a background sampler recording every SPSC
+	// ring's occupancy and each worker's state, and Prometheus/JSON
+	// export. The engines register their queues and workers at run start
+	// and attach the resulting report to Result.Telemetry. Like Hooks,
+	// the field is nil-checked once per worker outside the hot loops;
+	// with it nil the engines pay nothing, with it set the hot path pays
+	// only local (per-worker, uncontended) atomic increments amortized
+	// over slabs, batches and tasks.
+	Telemetry *telemetry.Telemetry
 	// Hooks is the test-only fault-injection surface (see Hooks). It
 	// must be nil outside tests; engines never touch a nil Hooks on the
 	// hot path.

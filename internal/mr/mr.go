@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"ramr/internal/container"
+	"ramr/internal/spsc"
+	"ramr/internal/telemetry"
 )
 
 // Pair is one key-value element of a job's final output.
@@ -108,6 +110,18 @@ func (p PhaseTimes) Fractions() (init, partition, mapCombine, reduce, merge floa
 		p.MapCombine.Seconds() / t, p.Reduce.Seconds() / t, p.Merge.Seconds() / t
 }
 
+// SecondsByPhase returns the profile as a name→seconds map, the shape the
+// telemetry report carries.
+func (p PhaseTimes) SecondsByPhase() map[string]float64 {
+	return map[string]float64{
+		"init":        p.Init.Seconds(),
+		"partition":   p.Partition.Seconds(),
+		"map-combine": p.MapCombine.Seconds(),
+		"reduce":      p.Reduce.Seconds(),
+		"merge":       p.Merge.Seconds(),
+	}
+}
+
 // String renders the breakdown as percentages.
 func (p PhaseTimes) String() string {
 	i, pa, mc, r, m := p.Fractions()
@@ -123,6 +137,10 @@ type Result[K comparable, R any] struct {
 	Phases PhaseTimes
 	// QueueStats aggregates SPSC queue counters (RAMR engine only).
 	QueueStats QueueStats
+	// Telemetry is the structured run report (occupancy time-series,
+	// counter totals, throughput) when Config.Telemetry was set; nil
+	// otherwise.
+	Telemetry *telemetry.Report
 }
 
 // QueueStats aggregates the SPSC counters across all mapper queues of one
@@ -138,4 +156,49 @@ type QueueStats struct {
 	ShortPolls  uint64
 	BatchCalls  uint64
 	SleepMicros uint64
+}
+
+// Add folds one queue's counters into the aggregate.
+func (q *QueueStats) Add(s spsc.Stats) {
+	q.Pushes += s.Pushes
+	q.FailedPush += s.FailedPush
+	q.SpinRounds += s.SpinRounds
+	q.Pops += s.Pops
+	q.EmptyPolls += s.EmptyPolls
+	q.ShortPolls += s.ShortPolls
+	q.BatchCalls += s.BatchCalls
+	q.SleepMicros += s.SleepMicros
+}
+
+// FailedPushRate returns the fraction of push attempts whose first trial
+// found the ring full: FailedPush / (Pushes + FailedPush). It is the
+// backpressure signal behind the paper's sleep-on-failed-push policy
+// (§III-A); zero when no pushes happened.
+func (q QueueStats) FailedPushRate() float64 {
+	total := q.Pushes + q.FailedPush
+	if total == 0 {
+		return 0
+	}
+	return float64(q.FailedPush) / float64(total)
+}
+
+// ShortPollRate returns the fraction of consume polls that found fewer
+// than a full batch buffered (unforced): ShortPolls over all polls
+// (BatchCalls + EmptyPolls + ShortPolls). A high rate means combiners
+// outpace mappers and the batch size may be too large; zero when no polls
+// happened.
+func (q QueueStats) ShortPollRate() float64 {
+	total := q.BatchCalls + q.EmptyPolls + q.ShortPolls
+	if total == 0 {
+		return 0
+	}
+	return float64(q.ShortPolls) / float64(total)
+}
+
+// String renders all eight counters plus the derived rates on one line,
+// the canonical formatting every report path shares.
+func (q QueueStats) String() string {
+	return fmt.Sprintf("%d pushed (%.1f%% failed), %d spin rounds, %d popped, %d batch calls, %d empty polls, %d short polls (%.1f%%), %dus slept",
+		q.Pushes, q.FailedPushRate()*100, q.SpinRounds, q.Pops, q.BatchCalls,
+		q.EmptyPolls, q.ShortPolls, q.ShortPollRate()*100, q.SleepMicros)
 }

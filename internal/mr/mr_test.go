@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -286,5 +287,54 @@ func TestMergeContainersPanicReported(t *testing.T) {
 		func(x, y int) int { panic("combine exploded") })
 	if err == nil {
 		t.Fatal("combine panic not reported")
+	}
+}
+
+func TestQueueStatsAdd(t *testing.T) {
+	var agg QueueStats
+	agg.Add(spsc.Stats{Pushes: 10, FailedPush: 1, SpinRounds: 2, Pops: 10,
+		EmptyPolls: 3, ShortPolls: 4, BatchCalls: 5, SleepMicros: 6})
+	agg.Add(spsc.Stats{Pushes: 5, FailedPush: 1, Pops: 5, BatchCalls: 1})
+	want := QueueStats{Pushes: 15, FailedPush: 2, SpinRounds: 2, Pops: 15,
+		EmptyPolls: 3, ShortPolls: 4, BatchCalls: 6, SleepMicros: 6}
+	if agg != want {
+		t.Fatalf("Add: got %+v, want %+v", agg, want)
+	}
+}
+
+func TestQueueStatsRates(t *testing.T) {
+	var zero QueueStats
+	if zero.FailedPushRate() != 0 || zero.ShortPollRate() != 0 {
+		t.Fatal("zero stats must yield zero rates, not NaN")
+	}
+	q := QueueStats{Pushes: 75, FailedPush: 25, BatchCalls: 50, EmptyPolls: 30, ShortPolls: 20}
+	if got := q.FailedPushRate(); got != 0.25 {
+		t.Fatalf("FailedPushRate = %v, want 0.25", got)
+	}
+	if got := q.ShortPollRate(); got != 0.2 {
+		t.Fatalf("ShortPollRate = %v, want 0.2", got)
+	}
+}
+
+func TestQueueStatsString(t *testing.T) {
+	q := QueueStats{Pushes: 75, FailedPush: 25, SpinRounds: 7, Pops: 75,
+		BatchCalls: 50, EmptyPolls: 30, ShortPolls: 20, SleepMicros: 99}
+	s := q.String()
+	for _, want := range []string{"75 pushed", "25.0% failed", "7 spin rounds",
+		"75 popped", "50 batch calls", "30 empty polls", "20 short polls", "99us slept"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestSecondsByPhase(t *testing.T) {
+	p := PhaseTimes{Init: time.Second, MapCombine: 2 * time.Second}
+	m := p.SecondsByPhase()
+	if m["init"] != 1 || m["map-combine"] != 2 || m["reduce"] != 0 {
+		t.Fatalf("SecondsByPhase = %v", m)
+	}
+	if len(m) != 5 {
+		t.Fatalf("expected all five phases, got %v", m)
 	}
 }

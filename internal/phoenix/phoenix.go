@@ -15,12 +15,15 @@ package phoenix
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ramr/internal/container"
 	"ramr/internal/mr"
+	"ramr/internal/telemetry"
 	"ramr/internal/trace"
 )
 
@@ -45,6 +48,16 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	workers := cfg.Mappers + cfg.NumCombiners()
 
 	res := &mr.Result[K, R]{}
+
+	// Telemetry is captured into a local once (like Hooks); Stop is
+	// deferred so error returns never leak the sampler goroutine. The
+	// fused engine has no queues to probe, but its counters and worker
+	// utilization curves make the two engines directly comparable.
+	tel := cfg.Telemetry
+	if tel != nil {
+		tel.BeginRun("phoenix")
+		defer tel.Stop()
+	}
 
 	// --- Init: allocate per-worker containers. ---
 	t0 := time.Now()
@@ -75,49 +88,78 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// pprof.Do labels the goroutine so CPU profiles segment the
+		// fused workers from reduce/merge helpers and, side by side
+		// with a RAMR profile, mapper vs combiner time.
 		go func(w int, c container.Container[K, V]) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					firstErr.Set(&mr.PanicError{Engine: "phoenix", Worker: fmt.Sprintf("worker %d", w), Value: r})
-					trip()
+			labels := pprof.Labels("engine", "phoenix", "role", "worker", "worker", strconv.Itoa(w))
+			pprof.Do(ctx, labels, func(context.Context) {
+				var tw *telemetry.Worker
+				if tel != nil {
+					tw = tel.RegisterWorker("worker", w)
 				}
-			}()
-			var shard *trace.Shard
-			if cfg.Trace != nil {
-				shard = cfg.Trace.Shard(fmt.Sprintf("worker-%d", w))
-			}
-			emit := func(k K, v V) { c.Update(k, v, spec.Combine) }
-			var taskHook func(int)
-			if hk := cfg.Hooks; hk != nil {
-				taskHook = hk.MapTask
-				if hk.MapEmit != nil {
+				defer tw.SetState(telemetry.StateDone)
+				defer func() {
+					if r := recover(); r != nil {
+						firstErr.Set(&mr.PanicError{Engine: "phoenix", Worker: fmt.Sprintf("worker %d", w), Value: r})
+						trip()
+					}
+				}()
+				var shard *trace.Shard
+				if cfg.Trace != nil {
+					shard = cfg.Trace.Shard(fmt.Sprintf("worker-%d", w))
+				}
+				emit := func(k K, v V) { c.Update(k, v, spec.Combine) }
+				// In the fused engine every emitted pair is combined in
+				// place, so one local counter feeds both totals at task
+				// boundaries.
+				emitted := 0
+				if tw != nil {
 					inner := emit
 					emit = func(k K, v V) {
-						hk.MapEmit(w)
+						emitted++
 						inner(k, v)
 					}
 				}
-			}
-			for !abort.Load() && ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
+				var taskHook func(int)
+				if hk := cfg.Hooks; hk != nil {
+					taskHook = hk.MapTask
+					if hk.MapEmit != nil {
+						inner := emit
+						emit = func(k K, v V) {
+							hk.MapEmit(w)
+							inner(k, v)
+						}
+					}
 				}
-				if taskHook != nil {
-					taskHook(w)
+				tw.SetState(telemetry.StateWorking)
+				for !abort.Load() && ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					if taskHook != nil {
+						taskHook(w)
+					}
+					var end func()
+					if shard != nil {
+						end = shard.Span("task", nil)
+					}
+					for s := tasks[i][0]; s < tasks[i][1]; s++ {
+						spec.Map(spec.Splits[s], emit)
+					}
+					if end != nil {
+						end()
+					}
+					if tw != nil {
+						tw.AddTasks(1)
+						tw.AddEmitted(emitted)
+						tw.AddCombined(emitted)
+						emitted = 0
+					}
 				}
-				var end func()
-				if shard != nil {
-					end = shard.Span("task", nil)
-				}
-				for s := tasks[i][0]; s < tasks[i][1]; s++ {
-					spec.Map(spec.Splits[s], emit)
-				}
-				if end != nil {
-					end()
-				}
-			}
+			})
 		}(w, containers[w])
 	}
 	wg.Wait()
@@ -150,5 +192,8 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	res.Phases.Merge = time.Since(t0)
 
 	res.Pairs = pairs
+	if tel != nil {
+		res.Telemetry = tel.EndRun(res.Phases.SecondsByPhase())
+	}
 	return res, nil
 }

@@ -161,9 +161,24 @@ func MustNew[T any](capacity int, policy WaitPolicy) *Queue[T] {
 func (q *Queue[T]) Cap() int { return len(q.buf) }
 
 // Len returns the number of buffered elements. It is exact only when the
-// queue is quiescent; under concurrency it is a point-in-time snapshot.
+// queue is quiescent; under concurrency it is a point-in-time snapshot,
+// safe to call from any goroutine — this is the non-invasive depth probe
+// the telemetry sampler uses for its queue-occupancy time-series.
+//
+// head is loaded before tail: head never passes tail, so a tail read
+// *after* the head read is always >= the head value read, keeping the
+// difference non-negative (the reverse order could go negative when the
+// consumer advances between the two loads). The result is clamped to the
+// capacity because the consumer may also advance head after we read it,
+// inflating the stale difference.
 func (q *Queue[T]) Len() int {
-	return int(q.tail.Load() - q.head.Load())
+	h := q.head.Load()
+	t := q.tail.Load()
+	n := t - h
+	if n > uint64(len(q.buf)) {
+		n = uint64(len(q.buf))
+	}
+	return int(n)
 }
 
 // tryPush is the stat-free single-element fast path: it consults only the
@@ -413,6 +428,15 @@ func (q *Queue[T]) DiscardBatch(batch int) int {
 // has been consumed — the combiner exit condition.
 func (q *Queue[T]) Drained() bool {
 	return q.done.Load() && q.head.Load() == q.tail.Load()
+}
+
+// ProducerStats returns the producer-owned counter subset. Unlike
+// Snapshot, which reads both sides and therefore requires a quiescent
+// queue, this is safe to call from the producer goroutine at any time —
+// it is how the engines mirror failed-push and sleep totals into the
+// telemetry layer while the consumer is still running.
+func (q *Queue[T]) ProducerStats() (pushes, failedPush, sleepMicros uint64) {
+	return q.prod.pushes, q.prod.failedPush, q.prod.sleepMicros
 }
 
 // Snapshot returns a copy of the event counters.

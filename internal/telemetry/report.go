@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// QueueReport summarizes one queue's sampled occupancy.
+type QueueReport struct {
+	Name     string `json:"name"`
+	Capacity int    `json:"capacity"`
+	// Occupancy holds depth/capacity percentiles over the run's samples.
+	Occupancy Percentiles `json:"occupancy"`
+}
+
+// WorkerReport is one worker's counter totals plus its sampled busy
+// fraction (share of samples observed in StateWorking or StateDraining).
+type WorkerReport struct {
+	Engine      string  `json:"engine"`
+	Role        string  `json:"role"`
+	ID          int     `json:"id"`
+	Emitted     uint64  `json:"pairs_emitted"`
+	Combined    uint64  `json:"pairs_combined"`
+	Tasks       uint64  `json:"tasks"`
+	Batches     uint64  `json:"batches"`
+	FailedPush  uint64  `json:"failed_pushes"`
+	SleepMicros uint64  `json:"sleep_micros"`
+	Busy        float64 `json:"busy"`
+}
+
+// Totals sums the worker counters across the run.
+type Totals struct {
+	Emitted     uint64 `json:"pairs_emitted"`
+	Combined    uint64 `json:"pairs_combined"`
+	Tasks       uint64 `json:"tasks"`
+	Batches     uint64 `json:"batches"`
+	FailedPush  uint64 `json:"failed_pushes"`
+	SleepMicros uint64 `json:"sleep_micros"`
+}
+
+// SamplePoint is one time-series entry in the JSON report. Depths index
+// Report.Queues, States index Report.Workers.
+type SamplePoint struct {
+	TMicros int64   `json:"t_us"`
+	Depths  []int   `json:"depths,omitempty"`
+	States  []uint8 `json:"states,omitempty"`
+}
+
+// Report is the structured result of one instrumented run: counter totals,
+// occupancy percentiles per queue, per-phase throughput, and the sampled
+// time-series itself.
+type Report struct {
+	Engine         string             `json:"engine"`
+	DurationMicros int64              `json:"duration_us"`
+	IntervalMicros int64              `json:"sample_interval_us"`
+	SampleCount    int                `json:"sample_count"`
+	Queues         []QueueReport      `json:"queues"`
+	Workers        []WorkerReport     `json:"workers"`
+	Totals         Totals             `json:"totals"`
+	PhaseSeconds   map[string]float64 `json:"phase_seconds,omitempty"`
+	// Throughput is pairs per second per phase: "map" is emitted pairs
+	// over the map-combine phase, "combine" is combined pairs over it.
+	Throughput map[string]float64 `json:"throughput_pairs_per_sec,omitempty"`
+	Series     []SamplePoint      `json:"series"`
+}
+
+// buildReportLocked assembles the report from the current run's state;
+// t.mu is held and the sampler is stopped.
+func (t *Telemetry) buildReportLocked(phases map[string]float64) *Report {
+	rep := &Report{
+		Engine:         t.engine,
+		DurationMicros: time.Since(t.start).Microseconds(),
+		PhaseSeconds:   phases,
+	}
+	interval := t.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	rep.IntervalMicros = interval.Microseconds()
+
+	var samples []Sample
+	if t.series != nil {
+		samples = t.series.samples
+		rep.IntervalMicros = interval.Microseconds() * int64(t.series.stride)
+	}
+	rep.SampleCount = len(samples)
+
+	for qi, q := range t.queues {
+		cap := q.probe.Cap()
+		occ := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			if qi < len(s.Depths) && cap > 0 {
+				occ = append(occ, float64(s.Depths[qi])/float64(cap))
+			}
+		}
+		rep.Queues = append(rep.Queues, QueueReport{
+			Name:      q.name,
+			Capacity:  cap,
+			Occupancy: percentiles(occ),
+		})
+	}
+
+	for wi, w := range t.workers {
+		busySamples, total := 0, 0
+		for _, s := range samples {
+			if wi >= len(s.States) {
+				continue
+			}
+			total++
+			if st := s.States[wi]; st == StateWorking || st == StateDraining {
+				busySamples++
+			}
+		}
+		wr := WorkerReport{
+			Engine:      w.engine,
+			Role:        w.role,
+			ID:          w.id,
+			Emitted:     w.emitted.Load(),
+			Combined:    w.combined.Load(),
+			Tasks:       w.tasks.Load(),
+			Batches:     w.batches.Load(),
+			FailedPush:  w.failedPush.Load(),
+			SleepMicros: w.sleepMicros.Load(),
+		}
+		if total > 0 {
+			wr.Busy = float64(busySamples) / float64(total)
+		}
+		rep.Workers = append(rep.Workers, wr)
+		rep.Totals.Emitted += wr.Emitted
+		rep.Totals.Combined += wr.Combined
+		rep.Totals.Tasks += wr.Tasks
+		rep.Totals.Batches += wr.Batches
+		rep.Totals.FailedPush += wr.FailedPush
+		rep.Totals.SleepMicros += wr.SleepMicros
+	}
+
+	if mc := phases["map-combine"]; mc > 0 {
+		rep.Throughput = map[string]float64{
+			"map":     float64(rep.Totals.Emitted) / mc,
+			"combine": float64(rep.Totals.Combined) / mc,
+		}
+	}
+
+	for _, s := range samples {
+		pt := SamplePoint{TMicros: s.T.Microseconds(), Depths: s.Depths}
+		if len(s.States) > 0 {
+			pt.States = make([]uint8, len(s.States))
+			for i, st := range s.States {
+				pt.States[i] = uint8(st)
+			}
+		}
+		rep.Series = append(rep.Series, pt)
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders the report as human-readable text: counter totals, one
+// line per queue with occupancy percentiles, and per-role utilization.
+func (r *Report) Summary(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "telemetry [%s]: %d samples over %v (every %v)\n",
+		r.Engine, r.SampleCount,
+		time.Duration(r.DurationMicros)*time.Microsecond,
+		time.Duration(r.IntervalMicros)*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pairs: %d emitted, %d combined; %d tasks, %d batches, %d failed pushes, %dus slept\n",
+		r.Totals.Emitted, r.Totals.Combined, r.Totals.Tasks, r.Totals.Batches,
+		r.Totals.FailedPush, r.Totals.SleepMicros)
+	for _, name := range sortedKeys(r.Throughput) {
+		fmt.Fprintf(w, "throughput %-8s %.3g pairs/s\n", name, r.Throughput[name])
+	}
+	for _, q := range r.Queues {
+		fmt.Fprintf(w, "queue %-12s cap %5d  occupancy mean %5.1f%%  p50 %5.1f%%  p90 %5.1f%%  p99 %5.1f%%  max %5.1f%%\n",
+			q.Name, q.Capacity, q.Occupancy.Mean*100, q.Occupancy.P50*100,
+			q.Occupancy.P90*100, q.Occupancy.P99*100, q.Occupancy.Max*100)
+	}
+	type roleAgg struct {
+		n    int
+		busy float64
+	}
+	roles := map[string]*roleAgg{}
+	for _, wr := range r.Workers {
+		a := roles[wr.Role]
+		if a == nil {
+			a = &roleAgg{}
+			roles[wr.Role] = a
+		}
+		a.n++
+		a.busy += wr.Busy
+	}
+	for _, role := range sortedRoleKeys(roles) {
+		a := roles[role]
+		fmt.Fprintf(w, "workers %-10s x%-3d  mean busy %5.1f%%\n", role, a.n, a.busy/float64(a.n)*100)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedRoleKeys[T any](m map[string]*T) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -56,8 +56,11 @@ func (c *Collector) Shard(worker string) *Shard {
 	return s
 }
 
-// Events returns every recorded event sorted by start time. Call only
-// after all workers have finished.
+// Events returns every recorded event sorted by start time, with ties
+// broken by worker name so the ordering — and everything derived from it,
+// like the Chrome trace export — is deterministic regardless of goroutine
+// scheduling. The stable sort keeps a worker's own same-start events in
+// recording order. Call only after all workers have finished.
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -65,7 +68,12 @@ func (c *Collector) Events() []Event {
 	for _, s := range c.shards {
 		out = append(out, s.events...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Worker < out[j].Worker
+	})
 	return out
 }
 

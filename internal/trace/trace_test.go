@@ -3,11 +3,16 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestSpanRecordsDuration(t *testing.T) {
 	c := New()
@@ -28,6 +33,25 @@ func TestSpanRecordsDuration(t *testing.T) {
 	}
 	if e.Args["n"] != 3 {
 		t.Fatalf("args lost: %+v", e.Args)
+	}
+}
+
+func TestEventsTieBreakByWorker(t *testing.T) {
+	c := New()
+	// Register shards in reverse worker order and record identical start
+	// times: the tie-break must order by worker name, not registration
+	// or scheduling order.
+	b := c.Shard("worker-b")
+	a := c.Shard("worker-a")
+	b.Record("opB", 5*time.Millisecond, time.Millisecond, nil)
+	a.Record("opA", 5*time.Millisecond, time.Millisecond, nil)
+	a.Record("first", time.Millisecond, time.Millisecond, nil)
+	events := c.Events()
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].Name != "first" || events[1].Name != "opA" || events[2].Name != "opB" {
+		t.Fatalf("order: %+v", events)
 	}
 }
 
@@ -100,6 +124,8 @@ func TestSummary(t *testing.T) {
 	s := c.Shard("mapper-0")
 	s.Record("task", 0, 10*time.Millisecond, nil)
 	s.Record("task", 10*time.Millisecond, 10*time.Millisecond, nil)
+	idle := c.Shard("combiner-0")
+	idle.Record("consume", 0, 5*time.Millisecond, nil)
 	var buf bytes.Buffer
 	if err := c.Summary(&buf); err != nil {
 		t.Fatal(err)
@@ -107,5 +133,45 @@ func TestSummary(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "mapper-0") || !strings.Contains(out, "2 spans") {
 		t.Fatalf("summary: %s", out)
+	}
+	// mapper-0 is busy the whole 20ms window, combiner-0 a quarter of it.
+	if !strings.Contains(out, "(100.0%)") {
+		t.Fatalf("mapper utilization missing: %s", out)
+	}
+	if !strings.Contains(out, "( 25.0%)") {
+		t.Fatalf("combiner utilization missing: %s", out)
+	}
+}
+
+// TestChromeTraceGolden pins the exact Chrome JSON the exporter produces
+// for a fixed event set, so the export stays byte-for-byte reproducible
+// (lane assignment, field order, tie-broken event order). Regenerate with
+// -update when the format intentionally changes.
+func TestChromeTraceGolden(t *testing.T) {
+	c := New()
+	m0 := c.Shard("mapper-0")
+	c0 := c.Shard("combiner-0")
+	// Same start on two workers exercises the worker tie-break; the
+	// args map exercises deterministic key marshaling.
+	c0.Record("consume", 2*time.Millisecond, time.Millisecond, nil)
+	m0.Record("task", 2*time.Millisecond, 3*time.Millisecond, map[string]any{"splits": 4, "idx": 1})
+	m0.Record("task", 7*time.Millisecond, time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
 	}
 }
