@@ -39,6 +39,7 @@ import (
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
+	"ramr/internal/tuner"
 )
 
 // Spec describes a MapReduce job; see the mr package for field semantics.
@@ -185,6 +186,28 @@ func NewTelemetryServer(t *Telemetry, addr string) (*TelemetryServer, error) {
 // QueueStats aggregates the SPSC queue counters of one RAMR run; see
 // Result.QueueStats and its String/FailedPushRate/ShortPollRate helpers.
 type QueueStats = mr.QueueStats
+
+// TunerConfig enables the online adaptive tuner: assign one to
+// Config.Tuner and the RAMR engine runs an elastic combiner pool whose
+// size, consume batch and push backoff are steered each epoch by a
+// deterministic seeded controller reading the telemetry stream. A nil
+// Config.Tuner keeps the static engine behaviour bit-for-bit.
+type TunerConfig = tuner.Config
+
+// TunerReport is the tuner's decision log for one run (one Decision per
+// epoch, with the telemetry signals that drove it); read it from
+// Result.TunerReport after a tuned run.
+type TunerReport = tuner.Report
+
+// TunerProfile is an offline-tuned static configuration produced by the
+// ramrtune command's coordinate-descent search; load one from disk with
+// LoadTunerProfile and apply it with Config.ApplyProfile as a warm start.
+type TunerProfile = tuner.Profile
+
+// LoadTunerProfile reads and validates a JSON profile written by ramrtune.
+func LoadTunerProfile(path string) (*TunerProfile, error) {
+	return tuner.LoadProfile(path)
+}
 
 // IterInfo summarizes an Iterate loop (iterations, convergence, phases).
 type IterInfo = mr.IterInfo

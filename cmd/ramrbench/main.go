@@ -86,6 +86,36 @@ func main() {
 		}
 	}
 
+	// Validate the whole invocation before running anything: a bad flag or
+	// id should fail fast, not after minutes of measurement.
+	if *runs < 0 {
+		fmt.Fprintf(os.Stderr, "ramrbench: -runs must be >= 0 (0 = default), got %d\n", *runs)
+		os.Exit(2)
+	}
+	exps := make([]harness.Experiment, 0, len(ids))
+	anyNative := false
+	for _, id := range ids {
+		exp, err := harness.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ramrbench:", err)
+			os.Exit(2)
+		}
+		anyNative = anyNative || exp.Native
+		exps = append(exps, exp)
+	}
+	if !anyNative {
+		// Modeled experiments never touch the instrumentation, so these
+		// flags would silently produce nothing (or die at report time).
+		if *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "ramrbench: -metrics-out needs at least one native experiment (fig1, fig4, native8a/b, tasksize)")
+			os.Exit(2)
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "ramrbench: -trace-out needs at least one native experiment (fig1, fig4, native8a/b, tasksize)")
+			os.Exit(2)
+		}
+	}
+
 	opt := harness.Options{Seed: *seed, Quick: *quick, Runs: *runs}
 	if *metricsOut != "" {
 		opt.Telemetry = telemetry.New()
@@ -93,12 +123,8 @@ func main() {
 	if *traceOut != "" {
 		opt.Trace = trace.New()
 	}
-	for _, id := range ids {
-		exp, err := harness.ByID(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ramrbench:", err)
-			os.Exit(2)
-		}
+	for _, exp := range exps {
+		id := exp.ID
 		rep, err := exp.Run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ramrbench: %s: %v\n", id, err)

@@ -54,6 +54,31 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file (view at chrome://tracing)")
 	flag.Parse()
 
+	// Validate every flag before generating input or running: a bad value
+	// should produce a usage message, not a mid-run panic (e.g. -ratio -1
+	// used to divide by zero when sizing the worker split).
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ramrsynth: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %q (all inputs are flags)", flag.Args())
+	}
+	if *elements < 1 {
+		fatalf("-elements must be >= 1, got %d", *elements)
+	}
+	if *keys < 1 {
+		fatalf("-keys must be >= 1, got %d", *keys)
+	}
+	if *ratio < 1 {
+		fatalf("-ratio must be >= 1, got %d", *ratio)
+	}
+	if *batch < 1 {
+		fatalf("-batch must be >= 1, got %d", *batch)
+	}
+	if *engine != "ramr" && *engine != "phoenix" {
+		fatalf("unknown engine %q (want ramr|phoenix)", *engine)
+	}
 	mk, err := parseKernel(*mapK)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ramrsynth: -map:", err)
@@ -89,9 +114,6 @@ func main() {
 	eng := workloads.EngineRAMR
 	if *engine == "phoenix" {
 		eng = workloads.EnginePhoenix
-	} else if *engine != "ramr" {
-		fmt.Fprintf(os.Stderr, "ramrsynth: unknown engine %q\n", *engine)
-		os.Exit(2)
 	}
 
 	var collector *trace.Collector

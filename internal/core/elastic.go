@@ -1,0 +1,586 @@
+// Elastic combiner pool + online tuner driver: the adaptive runtime the
+// paper's hand-tuned knobs imply but never build. With mr.Config.Tuner
+// set, the combiner pool can grow and shrink while the map phase runs,
+// and a deterministic controller (internal/tuner) re-tunes the consume
+// batch size and the producer sleep backoff from live telemetry deltas.
+//
+// Correctness rests on one lock discipline: the SPSC queues tolerate
+// exactly one consumer at a time, and the consumer side caches the head
+// index, so handing a queue from combiner A to combiner B needs both
+// exclusivity and a happens-before edge from A's last pop to B's first.
+// The pool provides both with a single RWMutex: a combiner holds the read
+// lock for one whole polling round over its assigned queues, and every
+// reassignment (grow, shrink, retire) takes the write lock — so no round
+// can straddle an ownership change, and the lock ordering publishes A's
+// consumer-side cache to B. Reassignment is rare (once per controller
+// epoch at most), so the RLock is effectively uncontended.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ramr/internal/affinity"
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/spsc"
+	"ramr/internal/telemetry"
+	"ramr/internal/trace"
+	"ramr/internal/tuner"
+)
+
+// elasticPool owns the queue→combiner-slot assignment of a tuned run.
+// Slots 0..active-1 share the live queues (contiguous runs of the
+// locality-dense order, like the static QueueAssignment); slots beyond
+// active are parked with no queues. Drained queues retire out of the
+// assignment; when the last one retires, done closes and every slot
+// exits.
+type elasticPool[K comparable, V any] struct {
+	queues []*spsc.Queue[pair[K, V]]
+
+	mu      sync.RWMutex
+	live    []int   // unretired queue indices, locality-dense order
+	slots   [][]int // per slot: owned queue indices
+	active  int
+	frozen  bool          // abort: assignment pinned for the drain
+	change  chan struct{} // closed and replaced on every reassignment
+	done    chan struct{} // closed when every queue has retired
+	retired []bool
+
+	// guards are optional per-queue single-consumer tokens, enabled only
+	// for instrumented runs (cfg.Hooks != nil): each consume round CASes
+	// the token of every queue it touches, so any violation of the
+	// one-consumer-per-ring invariant is detected, not silently raced.
+	guards      []atomic.Int32
+	guarded     bool
+	onViolation func(queue, holder, claimant int)
+}
+
+func newElasticPool[K comparable, V any](queues []*spsc.Queue[pair[K, V]], order []int, slots, active int, guarded bool, onViolation func(queue, holder, claimant int)) *elasticPool[K, V] {
+	p := &elasticPool[K, V]{
+		queues:      queues,
+		live:        append([]int(nil), order...),
+		slots:       make([][]int, slots),
+		active:      active,
+		change:      make(chan struct{}),
+		done:        make(chan struct{}),
+		retired:     make([]bool, len(queues)),
+		guarded:     guarded,
+		onViolation: onViolation,
+	}
+	if guarded {
+		p.guards = make([]atomic.Int32, len(queues))
+	}
+	p.splitLocked()
+	return p
+}
+
+// splitLocked deals the live queues contiguously over the active slots
+// (so each combiner's set stays a dense locality run) and clears the
+// rest. Callers hold the write lock.
+func (p *elasticPool[K, V]) splitLocked() {
+	for j := range p.slots {
+		p.slots[j] = nil
+	}
+	n := p.active
+	if n > len(p.slots) {
+		n = len(p.slots)
+	}
+	if n < 1 {
+		n = 1
+	}
+	base, rem := len(p.live)/n, len(p.live)%n
+	lo := 0
+	for j := 0; j < n; j++ {
+		sz := base
+		if j < rem {
+			sz++
+		}
+		p.slots[j] = append([]int(nil), p.live[lo:lo+sz]...)
+		lo += sz
+	}
+}
+
+// broadcastLocked wakes every parked slot so it re-reads its assignment.
+func (p *elasticPool[K, V]) broadcastLocked() {
+	close(p.change)
+	p.change = make(chan struct{})
+}
+
+// Resize sets the active slot count and redistributes the live queues.
+// No-op once frozen (abort) or when n is unchanged or out of range.
+func (p *elasticPool[K, V]) Resize(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen || n == p.active || n < 1 || n > len(p.slots) {
+		return
+	}
+	p.active = n
+	p.splitLocked()
+	p.broadcastLocked()
+}
+
+// retire removes a drained queue from the assignment. Only the slot that
+// observed Drained calls it, after releasing its read lock. Drained is
+// terminal, so the re-check under the write lock can only confirm it.
+func (p *elasticPool[K, V]) retire(qi int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.retired[qi] || !p.queues[qi].Drained() {
+		return
+	}
+	p.retired[qi] = true
+	for j := range p.slots {
+		p.slots[j] = removeIndex(p.slots[j], qi)
+	}
+	p.live = removeIndex(p.live, qi)
+	if len(p.live) == 0 {
+		select {
+		case <-p.done:
+		default:
+			close(p.done)
+		}
+	}
+}
+
+// freeze pins the assignment for the abort drain and returns slot j's
+// queues. The first caller flips the flag and wakes parked slots so they
+// observe the abort; after freeze no Resize can move a queue, so each
+// live queue has exactly one slot responsible for discard-draining it.
+func (p *elasticPool[K, V]) freeze(j int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.frozen {
+		p.frozen = true
+		p.broadcastLocked()
+	}
+	return append([]int(nil), p.slots[j]...)
+}
+
+// drainAbort is the elastic twin of the static path's abort handling:
+// freeze the assignment, discard-drain this slot's queues so producers
+// blocked on full rings can finish, then retire them.
+func (p *elasticPool[K, V]) drainAbort(j, batch int) {
+	mine := p.freeze(j)
+	qs := make([]*spsc.Queue[pair[K, V]], len(mine))
+	for i, qi := range mine {
+		qs[i] = p.queues[qi]
+	}
+	drainDiscard(qs, batch)
+	for _, qi := range mine {
+		p.retire(qi)
+	}
+}
+
+// acquire/release are the single-consumer guard. With guards off they
+// cost nothing; with guards on a failed CAS means two combiners touched
+// one ring concurrently — the invariant the pool lock must make
+// impossible.
+func (p *elasticPool[K, V]) acquire(qi, j int) bool {
+	if !p.guarded {
+		return true
+	}
+	if !p.guards[qi].CompareAndSwap(0, int32(j)+1) {
+		if p.onViolation != nil {
+			p.onViolation(qi, int(p.guards[qi].Load())-1, j)
+		}
+		return false
+	}
+	return true
+}
+
+func (p *elasticPool[K, V]) release(qi int) {
+	if p.guarded {
+		p.guards[qi].Store(0)
+	}
+}
+
+func removeIndex(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// localityOrder returns the queue (= mapper) indices sorted by locality
+// group, stable within a group, so a contiguous split hands each combiner
+// a dense group run.
+func localityOrder(mapperGroup []int) []int {
+	order := make([]int, len(mapperGroup))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return mapperGroup[order[x]] < mapperGroup[order[y]]
+	})
+	return order
+}
+
+// elasticArgs bundles what the elastic pool and tuner driver need from
+// RunContext.
+type elasticArgs[K comparable, V any] struct {
+	ctx        context.Context
+	cfg        mr.Config
+	tcfg       tuner.Config // bounds already resolved by resolveTuner
+	queues     []*spsc.Queue[pair[K, V]]
+	mirrors    []*telemetry.QueueMirror
+	containers []container.Container[K, V]
+	combine    container.Combine[V]
+	plan       Plan
+	order      []int // queue indices, locality-dense
+	initial    int   // starting pool size
+	batch      int   // starting consume batch (pre-clamped to capacity)
+	tel        *telemetry.Telemetry
+	abort      *atomic.Bool
+	trip       func()
+	firstErr   *mr.FirstError
+	wg         *sync.WaitGroup
+}
+
+// resolveTuner fills the machine-dependent bounds of a user tuner config:
+// the pool is bounded by the mapper count (a ring has at most one
+// consumer, so extra combiners could never own a queue) and the batch by
+// the ring capacity (the same deadlock clamp the static path applies).
+func resolveTuner(tcfg tuner.Config, mappers, queueCap int) tuner.Config {
+	if tcfg.MaxCombiners <= 0 || tcfg.MaxCombiners > mappers {
+		tcfg.MaxCombiners = mappers
+	}
+	if tcfg.MinCombiners <= 0 {
+		tcfg.MinCombiners = 1
+	}
+	if tcfg.MinCombiners > tcfg.MaxCombiners {
+		tcfg.MinCombiners = tcfg.MaxCombiners
+	}
+	maxB := tcfg.MaxBatch
+	if maxB <= 0 {
+		maxB = tuner.DefaultMaxBatch
+	}
+	if maxB > queueCap {
+		maxB = queueCap
+	}
+	tcfg.MaxBatch = maxB
+	minB := tcfg.MinBatch
+	if minB <= 0 {
+		minB = tuner.DefaultMinBatch
+	}
+	if minB > maxB {
+		minB = maxB
+	}
+	tcfg.MinBatch = minB
+	return tcfg
+}
+
+// tunerDriver adapts telemetry into the controller's Signals and applies
+// its Decisions. It runs on the sampler goroutine via the telemetry
+// observer; stop() fences it so the report can be read race-free.
+type tunerDriver struct {
+	mu      sync.Mutex
+	stopped bool
+
+	ctrl  *tuner.Controller
+	tel   *telemetry.Telemetry
+	apply func(tuner.Decision)
+
+	epochTicks int
+	ticks      int
+	occ        []float64 // sampled occupancies within the current epoch
+	caps       []float64 // per-queue capacity, indexed like Sample.Depths
+	prev       telemetry.Counters
+}
+
+// observe is the telemetry observer: accumulate occupancy, and at each
+// epoch boundary form the Signals delta, advance the controller and apply
+// its decision.
+func (d *tunerDriver) observe(s telemetry.Sample) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	for i, depth := range s.Depths {
+		if i < len(d.caps) && d.caps[i] > 0 {
+			d.occ = append(d.occ, float64(depth)/d.caps[i])
+		}
+	}
+	d.ticks++
+	if d.ticks < d.epochTicks {
+		return
+	}
+	now := d.tel.CountersNow()
+	sig := tuner.Signals{
+		OccP90:        p90(d.occ),
+		CombinedPairs: now.Combined - d.prev.Combined,
+		Ticks:         d.ticks,
+	}
+	if dp := (now.Pushes - d.prev.Pushes) + (now.FailedPush - d.prev.FailedPush); dp > 0 {
+		sig.FailedPushRate = float64(now.FailedPush-d.prev.FailedPush) / float64(dp)
+	}
+	if polls := (now.BatchCalls - d.prev.BatchCalls) + (now.EmptyPolls - d.prev.EmptyPolls) + (now.ShortPolls - d.prev.ShortPolls); polls > 0 {
+		sig.ShortPollRate = float64(now.ShortPolls-d.prev.ShortPolls) / float64(polls)
+	}
+	d.prev = now
+	d.ticks = 0
+	d.occ = d.occ[:0]
+	d.apply(d.ctrl.Advance(sig))
+}
+
+// stop fences the driver: no Advance can be in flight after it returns,
+// so report() is safe from any goroutine.
+func (d *tunerDriver) stop() {
+	d.mu.Lock()
+	d.stopped = true
+	d.mu.Unlock()
+}
+
+func (d *tunerDriver) report() *tuner.Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctrl.Report()
+}
+
+// p90 returns the 90th percentile of vs (zero when empty). vs is reused
+// by the caller; sorting in place is fine.
+func p90(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	return vs[int(0.9*float64(len(vs)-1))]
+}
+
+// startElastic spawns the full complement of combiner slots (active ones
+// consuming, the rest parked on the resume gate), wires the tuner driver
+// into the telemetry sampler, and returns the driver for the end-of-run
+// report. Combiners are accounted on a.wg like the static pool.
+func startElastic[K comparable, V any](a *elasticArgs[K, V]) *tunerDriver {
+	slots := a.tcfg.MaxCombiners
+	capQ := a.queues[0].Cap()
+
+	var pool *elasticPool[K, V]
+	guarded := a.cfg.Hooks != nil
+	onViolation := func(queue, holder, claimant int) {
+		a.firstErr.Set(fmt.Errorf("core: single-consumer invariant violated: queue %d consumed by combiner %d while owned by %d", queue, claimant, holder))
+		a.trip()
+	}
+	pool = newElasticPool(a.queues, a.order, slots, a.initial, guarded, onViolation)
+
+	// The consume batch is the one knob read on the combiner hot loop, so
+	// it travels through an atomic the driver stores and each round loads.
+	var batchA atomic.Int64
+	batchA.Store(int64(a.batch))
+	batchNow := func() int {
+		b := int(batchA.Load())
+		if b < 1 {
+			b = 1
+		}
+		if b > capQ {
+			b = capQ
+		}
+		return b
+	}
+
+	ctrl := tuner.NewController(a.tcfg, tuner.Settings{
+		Combiners: a.initial,
+		Batch:     a.batch,
+		Backoff:   spsc.DefaultSleepCap,
+	})
+
+	var tunerShard *trace.Shard
+	if a.cfg.Trace != nil {
+		tunerShard = a.cfg.Trace.Shard("tuner")
+	}
+	curCombiners, curBackoff := a.initial, spsc.DefaultSleepCap
+	driver := &tunerDriver{
+		ctrl:       ctrl,
+		tel:        a.tel,
+		epochTicks: ctrl.EpochTicks(),
+		caps:       make([]float64, len(a.queues)),
+	}
+	for i, q := range a.queues {
+		driver.caps[i] = float64(q.Cap())
+	}
+	driver.apply = func(d tuner.Decision) {
+		if d.Settings.Combiners != curCombiners {
+			curCombiners = d.Settings.Combiners
+			pool.Resize(curCombiners)
+		}
+		batchA.Store(int64(d.Settings.Batch))
+		if d.Settings.Backoff != curBackoff {
+			curBackoff = d.Settings.Backoff
+			for _, q := range a.queues {
+				q.SetSleepCap(curBackoff)
+			}
+		}
+		if tunerShard != nil {
+			tunerShard.Span("epoch", map[string]any{
+				"action":    d.Action,
+				"combiners": d.Settings.Combiners,
+				"batch":     d.Settings.Batch,
+				"backoff":   d.Settings.Backoff.String(),
+			})()
+		}
+	}
+	a.tel.SetObserver(driver.observe)
+
+	for j := 0; j < slots; j++ {
+		a.wg.Add(1)
+		go func(j int) {
+			defer a.wg.Done()
+			labels := pprof.Labels("engine", "ramr", "role", "combiner", "worker", strconv.Itoa(j))
+			pprof.Do(a.ctx, labels, func(context.Context) {
+				runElasticCombiner(a, pool, j, batchNow)
+			})
+		}(j)
+	}
+	return driver
+}
+
+// runElasticCombiner is one combiner slot's life: consume rounds over the
+// currently assigned queues under the pool's read lock, park on the
+// resume gate when the assignment is empty, retire drained queues, and
+// discard-drain on abort — the elastic twin of the static combiner loop.
+func runElasticCombiner[K comparable, V any](a *elasticArgs[K, V], pool *elasticPool[K, V], j int, batchNow func() int) {
+	var tw *telemetry.Worker
+	if a.tel != nil {
+		tw = a.tel.RegisterWorker("combiner", j)
+	}
+	defer tw.SetState(telemetry.StateDone)
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			a.firstErr.Set(&mr.PanicError{Engine: "ramr", Worker: fmt.Sprintf("combine worker %d", j), Value: r})
+			a.trip()
+		}
+		pool.drainAbort(j, batchNow())
+	}()
+	if cpu := a.plan.CombinerCPU[j]; cpu >= 0 && affinity.Supported() {
+		unpin, _ := affinity.PinSelf(cpu)
+		defer unpin()
+	}
+	var shard *trace.Shard
+	if a.cfg.Trace != nil {
+		shard = a.cfg.Trace.Shard(fmt.Sprintf("combiner-%d", j))
+	}
+	c := a.containers[j]
+	apply := func(batch []pair[K, V]) {
+		c.UpdateBatch(batch, a.combine)
+	}
+	if tw != nil {
+		inner := apply
+		apply = func(batch []pair[K, V]) {
+			tw.AddCombined(len(batch))
+			tw.AddBatches(1)
+			inner(batch)
+		}
+	}
+	var drainHook func(int)
+	if hk := a.cfg.Hooks; hk != nil {
+		drainHook = hk.CombineDrain
+		if hk.CombineBatch != nil {
+			inner := apply
+			apply = func(batch []pair[K, V]) {
+				hk.CombineBatch(j)
+				inner(batch)
+			}
+		}
+	}
+	curState := telemetry.StateIdle
+	setState := func(s telemetry.State) {
+		if s != curState {
+			curState = s
+			tw.SetState(s)
+		}
+	}
+	draining := false
+
+	// round runs one polling pass over the slot's assignment while
+	// holding the read lock (the ownership critical section). The
+	// deferred unlock keeps a user-code panic from wedging the pool:
+	// the recover path above takes the write lock to freeze.
+	round := func() (consumed int, toRetire []int, parked bool, change, done chan struct{}) {
+		pool.mu.RLock()
+		defer pool.mu.RUnlock()
+		mine := pool.slots[j]
+		if len(mine) == 0 {
+			return 0, nil, true, pool.change, pool.done
+		}
+		b := batchNow()
+		var end func()
+		if shard != nil {
+			end = shard.Span("consume", nil)
+		}
+		for _, qi := range mine {
+			q := a.queues[qi]
+			if !pool.acquire(qi, j) {
+				continue
+			}
+			closed := q.Closed()
+			if closed && !draining {
+				draining = true
+				if drainHook != nil {
+					drainHook(j)
+				}
+			}
+			consumed += q.ConsumeBatch(b, closed, apply)
+			if q.Drained() {
+				toRetire = append(toRetire, qi)
+			}
+			a.mirrors[qi].StoreConsumer(q.ConsumerStats())
+			pool.release(qi)
+		}
+		if end != nil && consumed > 0 {
+			end()
+		}
+		return consumed, toRetire, false, nil, nil
+	}
+
+	idleRounds := 0
+	for {
+		// Same abort contract as the static path: once any worker
+		// tripped the flag, stop feeding user Combine and discard-drain
+		// so producers blocked on full rings unwedge.
+		if a.abort.Load() {
+			pool.drainAbort(j, batchNow())
+			return
+		}
+		consumed, toRetire, parked, change, done := round()
+		if parked {
+			setState(telemetry.StateIdle)
+			select {
+			case <-change:
+			case <-done:
+				return
+			}
+			continue
+		}
+		for _, qi := range toRetire {
+			pool.retire(qi)
+		}
+		if consumed == 0 {
+			idleRounds++
+			setState(telemetry.StateIdle)
+			if idleRounds < 4 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(combinerIdle)
+			}
+		} else {
+			idleRounds = 0
+			if draining {
+				setState(telemetry.StateDraining)
+			} else {
+				setState(telemetry.StateWorking)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
+	"ramr/internal/tuner"
 )
 
 // pair is one intermediate key-value element flowing through the queues.
@@ -69,12 +70,36 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	combiners := cfg.NumCombiners()
 	machine := cfg.ResolveMachine()
 
+	// With the tuner enabled the combiner pool is elastic: the plan and
+	// container set are sized for the pool's ceiling so combiners added
+	// mid-run have a pinned CPU and a private container waiting. With it
+	// nil everything below collapses to the static sizes.
+	tcfg := cfg.Tuner
+	maxCombiners := combiners
+	var tunerCfg tuner.Config
+	if tcfg != nil {
+		tunerCfg = resolveTuner(*tcfg, mappers, cfg.QueueCapacity)
+		maxCombiners = tunerCfg.MaxCombiners
+		if combiners > tunerCfg.MaxCombiners {
+			combiners = tunerCfg.MaxCombiners
+		}
+		if combiners < tunerCfg.MinCombiners {
+			combiners = tunerCfg.MinCombiners
+		}
+	}
+
 	res := &mr.Result[K, R]{}
 
 	// The telemetry layer is captured into a local once (like Hooks) so
 	// the nil check never sits on a hot path; Stop is deferred so error
-	// returns can never leak the sampler goroutine.
+	// returns can never leak the sampler goroutine. The tuner needs the
+	// sampler as its epoch clock and signal source, so it brings a
+	// private telemetry when the user configured none (no report is
+	// attached then).
 	tel := cfg.Telemetry
+	if tel == nil && tcfg != nil {
+		tel = telemetry.New()
+	}
 	if tel != nil {
 		tel.BeginRun("ramr")
 		defer tel.Stop()
@@ -83,6 +108,10 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	// --- Init: pools, queues, containers, pinning plan (Fig. 2 top). ---
 	t0 := time.Now()
 	queues := make([]*spsc.Queue[pair[K, V]], mappers)
+	var mirrors []*telemetry.QueueMirror
+	if tel != nil {
+		mirrors = make([]*telemetry.QueueMirror, mappers)
+	}
 	for i := range queues {
 		q, err := spsc.New[pair[K, V]](cfg.QueueCapacity, cfg.Wait)
 		if err != nil {
@@ -90,10 +119,10 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 		}
 		queues[i] = q
 		if tel != nil {
-			tel.RegisterQueue(fmt.Sprintf("mapper-%d", i), q)
+			mirrors[i] = tel.RegisterQueue(fmt.Sprintf("mapper-%d", i), q)
 		}
 	}
-	containers := make([]container.Container[K, V], combiners)
+	containers := make([]container.Container[K, V], maxCombiners)
 	for j := range containers {
 		containers[j] = spec.NewContainer()
 	}
@@ -113,8 +142,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if c := queues[0].Cap(); emitBatch > c {
 		emitBatch = c
 	}
-	plan := BuildPlan(machine, mappers, combiners, cfg.Pin)
-	assign := QueueAssignment(mappers, combiners)
+	plan := BuildPlan(machine, mappers, maxCombiners, cfg.Pin)
 	res.Phases.Init = time.Since(t0)
 
 	// --- Partition: tasks into per-locality-group queues. ---
@@ -185,8 +213,8 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 						flush()
 					}
 					if tw != nil {
-						_, fp, sl := q.ProducerStats()
-						tw.StoreProducer(fp, sl)
+						pu, fp, sl := q.ProducerStats()
+						tw.StoreProducer(pu, fp, sl)
 						tw.SetState(telemetry.StateDone)
 					}
 				}()
@@ -260,15 +288,39 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 						tw.AddTasks(1)
 						tw.AddEmitted(emitted)
 						emitted = 0
-						_, fp, sl := q.ProducerStats()
-						tw.StoreProducer(fp, sl)
+						pu, fp, sl := q.ProducerStats()
+						tw.StoreProducer(pu, fp, sl)
 					}
 				}
 			})
 		}(i)
 	}
 
-	for j := 0; j < combiners; j++ {
+	// Combiner pool: the static path when the tuner is off (identical to
+	// every prior release), the elastic pool + controller driver when on.
+	var driver *tunerDriver
+	if tcfg != nil {
+		driver = startElastic(&elasticArgs[K, V]{
+			ctx:        ctx,
+			cfg:        cfg,
+			tcfg:       tunerCfg,
+			queues:     queues,
+			mirrors:    mirrors,
+			containers: containers,
+			combine:    spec.Combine,
+			plan:       plan,
+			order:      localityOrder(mapperGroup),
+			initial:    combiners,
+			batch:      batch,
+			tel:        tel,
+			abort:      &abort,
+			trip:       trip,
+			firstErr:   &firstErr,
+			wg:         &combWG,
+		})
+	}
+	assign := QueueAssignment(mappers, combiners)
+	for j := 0; tcfg == nil && j < combiners; j++ {
 		combWG.Add(1)
 		go func(j int) {
 			defer combWG.Done()
@@ -395,6 +447,12 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	mapWG.Wait()
 	combWG.Wait()
 	res.Phases.MapCombine = time.Since(t0)
+	if driver != nil {
+		// Fence the driver before reading its report (and before any
+		// error return): no controller step can be in flight after stop.
+		driver.stop()
+		res.TunerReport = driver.report()
+	}
 	// The invariant observer and the pre-reduce hook run before the
 	// error checks: a failed run must still report per-queue drain state,
 	// and a cancellation injected at the pre-reduce point must still be
@@ -435,7 +493,12 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 
 	res.Pairs = pairs
 	if tel != nil {
-		res.Telemetry = tel.EndRun(res.Phases.SecondsByPhase())
+		rep := tel.EndRun(res.Phases.SecondsByPhase())
+		// A tuner-private telemetry is a clock, not a report the user
+		// asked for; attach only when the user configured one.
+		if cfg.Telemetry != nil {
+			res.Telemetry = rep
+		}
 	}
 	return res, nil
 }

@@ -44,6 +44,8 @@ func CheckQueues(reports []QueueReport) error {
 // package (whose own stack mentions the package) never matches itself.
 var workerSites = []string{
 	"ramr/internal/core.RunContext",
+	"ramr/internal/core.startElastic",
+	"ramr/internal/core.runElasticCombiner",
 	"ramr/internal/phoenix.RunContext",
 	"ramr/internal/spsc.(",
 	"ramr/internal/mr.MergeContainers",

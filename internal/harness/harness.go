@@ -128,6 +128,10 @@ type Experiment struct {
 	ID string
 	// Title is a one-line description.
 	Title string
+	// Native reports that the experiment times real engine runs on this
+	// host (as opposed to going through the simarch model) and therefore
+	// honors Options.Telemetry and Options.Trace.
+	Native bool
 	// Run executes the experiment.
 	Run func(Options) (*Report, error)
 }

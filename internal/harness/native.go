@@ -13,11 +13,11 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig1", Title: "MapReduce phase run-time breakdown, Phoenix engine (Fig. 1)", Run: runFig1})
-	register(Experiment{ID: "fig4", Title: "Synthetic suite: combine intensity vs mapper/combiner ratio (Fig. 4)", Run: runFig4})
-	register(Experiment{ID: "native8a", Title: "Native host re-run of Fig. 8a (RAMR vs Phoenix++, default containers)", Run: nativeSpeedups(false)})
-	register(Experiment{ID: "native8b", Title: "Native host re-run of Fig. 8b (RAMR vs Phoenix++, memory-intensive containers)", Run: nativeSpeedups(true)})
-	register(Experiment{ID: "tasksize", Title: "Task-size sensitivity, native (§III tuning discussion)", Run: runTaskSize})
+	register(Experiment{ID: "fig1", Title: "MapReduce phase run-time breakdown, Phoenix engine (Fig. 1)", Native: true, Run: runFig1})
+	register(Experiment{ID: "fig4", Title: "Synthetic suite: combine intensity vs mapper/combiner ratio (Fig. 4)", Native: true, Run: runFig4})
+	register(Experiment{ID: "native8a", Title: "Native host re-run of Fig. 8a (RAMR vs Phoenix++, default containers)", Native: true, Run: nativeSpeedups(false)})
+	register(Experiment{ID: "native8b", Title: "Native host re-run of Fig. 8b (RAMR vs Phoenix++, memory-intensive containers)", Native: true, Run: nativeSpeedups(true)})
+	register(Experiment{ID: "tasksize", Title: "Task-size sensitivity, native (§III tuning discussion)", Native: true, Run: runTaskSize})
 }
 
 // hostConfig returns a runnable configuration for the current host with

@@ -10,6 +10,7 @@ import (
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/trace"
+	"ramr/internal/tuner"
 )
 
 // PinPolicy selects how worker threads are placed on logical CPUs,
@@ -107,6 +108,16 @@ type Config struct {
 	// only local (per-worker, uncontended) atomic increments amortized
 	// over slabs, batches and tasks.
 	Telemetry *telemetry.Telemetry
+	// Tuner, when non-nil, enables the adaptive runtime (RAMR engine
+	// only): the combiner pool becomes elastic and a deterministic
+	// feedback controller adjusts the pool size, the consume batch size
+	// and the producer sleep backoff online from telemetry deltas, one
+	// decision per epoch. The decision log is attached to
+	// Result.TunerReport. nil keeps today's fully static behaviour; the
+	// engine then pays only nil checks. When Telemetry is nil the engine
+	// runs a private sampler for the controller's clock and signals
+	// without attaching a report.
+	Tuner *tuner.Config
 	// Hooks is the test-only fault-injection surface (see Hooks). It
 	// must be nil outside tests; engines never touch a nil Hooks on the
 	// hot path.
@@ -242,6 +253,24 @@ func (c Config) Validate() error {
 	case c.EmitBatch < 0:
 		return fmt.Errorf("mr: EmitBatch must be >= 0 (0 selects the default), got %d", c.EmitBatch)
 	}
+	if err := c.Tuner.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ApplyProfile overwrites the searchable knobs (ratio, queue capacity,
+// batch size) with a saved offline-search profile, the warm start
+// ramrtune emits. The explicit Combiners override is cleared so the
+// profile's ratio takes effect. The rest of the Config is untouched.
+func (c *Config) ApplyProfile(p *tuner.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.Ratio = p.Best.Ratio
+	c.Combiners = 0
+	c.QueueCapacity = p.Best.QueueCapacity
+	c.BatchSize = p.Best.BatchSize
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"ramr/internal/container"
 	"ramr/internal/spsc"
 	"ramr/internal/telemetry"
+	"ramr/internal/tuner"
 )
 
 // Pair is one key-value element of a job's final output.
@@ -141,6 +142,9 @@ type Result[K comparable, R any] struct {
 	// counter totals, throughput) when Config.Telemetry was set; nil
 	// otherwise.
 	Telemetry *telemetry.Report
+	// TunerReport is the online tuner's per-epoch decision log when
+	// Config.Tuner was set (RAMR engine only); nil otherwise.
+	TunerReport *tuner.Report
 }
 
 // QueueStats aggregates the SPSC counters across all mapper queues of one

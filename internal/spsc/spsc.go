@@ -47,6 +47,10 @@ import (
 // (within 2%) performance across all test-cases" (§III-A).
 const DefaultCapacity = 5000
 
+// DefaultSleepCap is the producer's default maximum backoff sleep on a
+// full ring; SetSleepCap overrides it at run time.
+const DefaultSleepCap = 128 * time.Microsecond
+
 // WaitPolicy selects how a producer waits for space in a full ring.
 type WaitPolicy int
 
@@ -100,6 +104,12 @@ type Queue[T any] struct {
 	_         pad
 	done      atomic.Bool // producer has called Close
 	_         pad
+	// sleepCap is the producer's maximum backoff sleep in microseconds,
+	// adjustable at run time by the online tuner (0 selects the default).
+	// It lives off both hot regions: the producer reads it only on the
+	// slow path (entering a wait), and writers are rare.
+	sleepCap atomic.Int64
+	_        pad
 
 	policy WaitPolicy
 }
@@ -287,7 +297,10 @@ func (q *Queue[T]) hasSpace() bool {
 // sleep round charged 1, making the ablation numbers incomparable.
 func (q *Queue[T]) waitUntil(try func() bool) {
 	sleep := time.Microsecond
-	const maxSleep = 128 * time.Microsecond
+	maxSleep := DefaultSleepCap
+	if us := q.sleepCap.Load(); us > 0 {
+		maxSleep = time.Duration(us) * time.Microsecond
+	}
 	for {
 		if q.policy == WaitBusy {
 			q.prod.spinRounds++
@@ -428,6 +441,25 @@ func (q *Queue[T]) DiscardBatch(batch int) int {
 // has been consumed — the combiner exit condition.
 func (q *Queue[T]) Drained() bool {
 	return q.done.Load() && q.head.Load() == q.tail.Load()
+}
+
+// SetSleepCap adjusts the producer's maximum backoff sleep on a full
+// ring. Unlike every other queue method it is safe from ANY goroutine —
+// the online tuner calls it from the telemetry sampler while both queue
+// sides run. d <= 0 restores DefaultSleepCap. A producer already inside a
+// wait finishes that wait under the cap it read at entry; the next wait
+// observes the new value.
+func (q *Queue[T]) SetSleepCap(d time.Duration) {
+	q.sleepCap.Store(int64(d / time.Microsecond))
+}
+
+// ConsumerStats returns the consumer-owned counter subset: cumulative
+// pops, empty polls, unforced short polls and batch functor calls. Like
+// ProducerStats this is safe only from the owning (consumer) goroutine
+// while the queue is live; it is how the elastic combiners mirror
+// consumer-side rates into the telemetry layer mid-run.
+func (q *Queue[T]) ConsumerStats() (pops, emptyPolls, shortPolls, batchCalls uint64) {
+	return q.cons.pops, q.cons.emptyPolls, q.cons.shortPolls, q.cons.batchCalls
 }
 
 // ProducerStats returns the producer-owned counter subset. Unlike

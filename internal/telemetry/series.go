@@ -41,6 +41,19 @@ func (s *series) add(v Sample) {
 		return
 	}
 	s.skipped = 0
+	s.record(v)
+}
+
+// force records v unconditionally, bypassing the stride. EndRun uses it
+// for the final sample: with stride > 1 a plain add could silently drop
+// it, and a sub-interval run (no ticks fired yet) would otherwise report
+// an empty series.
+func (s *series) force(v Sample) {
+	s.skipped = 0
+	s.record(v)
+}
+
+func (s *series) record(v Sample) {
 	if len(s.samples) == s.max {
 		keep := s.samples[:0]
 		for i := 0; i < len(s.samples); i += 2 {

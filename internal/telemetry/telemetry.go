@@ -106,9 +106,11 @@ type Worker struct {
 	combined atomic.Uint64
 	tasks    atomic.Uint64
 	batches  atomic.Uint64
-	// failedPush and sleepMicros mirror the producer-owned spsc counters
-	// (absolute values, stored not added) so they stay readable while the
-	// consumer side is still running.
+	// pushes, failedPush and sleepMicros mirror the producer-owned spsc
+	// counters (absolute values, stored not added) so they stay readable
+	// while the consumer side is still running. pushes exists so the
+	// online tuner can form a failed-push *rate* from live mirrors.
+	pushes      atomic.Uint64
 	failedPush  atomic.Uint64
 	sleepMicros atomic.Uint64
 }
@@ -150,19 +152,48 @@ func (w *Worker) AddBatches(n int) {
 }
 
 // StoreProducer mirrors the producer-owned queue counters (cumulative
-// failed pushes and microseconds slept on a full ring). Call from the
-// producer goroutine with spsc.Queue.ProducerStats values.
-func (w *Worker) StoreProducer(failedPush, sleepMicros uint64) {
+// pushes, failed pushes and microseconds slept on a full ring). Call from
+// the producer goroutine with spsc.Queue.ProducerStats values.
+func (w *Worker) StoreProducer(pushes, failedPush, sleepMicros uint64) {
 	if w != nil {
+		w.pushes.Store(pushes)
 		w.failedPush.Store(failedPush)
 		w.sleepMicros.Store(sleepMicros)
 	}
 }
 
-// registeredQueue pairs a probe with its report label.
+// QueueMirror holds one queue's consumer-side counter mirrors. The spsc
+// consumer counters are owned by the consuming goroutine and unreadable
+// from anywhere else while the run is live; the elastic combiner stores
+// cumulative ConsumerStats values here once per polling round. Ownership
+// handoffs between combiners are serialized by the pool lock, so the
+// stores never race even as a queue changes consumers; readers (the
+// tuner) see cumulative per-queue values that can be summed without
+// double counting. All methods are nil-safe.
+type QueueMirror struct {
+	pops       atomic.Uint64
+	emptyPolls atomic.Uint64
+	shortPolls atomic.Uint64
+	batchCalls atomic.Uint64
+}
+
+// StoreConsumer mirrors spsc.Queue.ConsumerStats values. Call from the
+// queue's current consumer goroutine.
+func (m *QueueMirror) StoreConsumer(pops, emptyPolls, shortPolls, batchCalls uint64) {
+	if m != nil {
+		m.pops.Store(pops)
+		m.emptyPolls.Store(emptyPolls)
+		m.shortPolls.Store(shortPolls)
+		m.batchCalls.Store(batchCalls)
+	}
+}
+
+// registeredQueue pairs a probe with its report label and consumer
+// mirror.
 type registeredQueue struct {
-	name  string
-	probe Probe
+	name   string
+	probe  Probe
+	mirror *QueueMirror
 }
 
 // Telemetry collects one run's live metrics. The zero value is usable:
@@ -180,15 +211,16 @@ type Telemetry struct {
 	// mr.Config.
 	Addr string
 
-	mu      sync.Mutex
-	engine  string
-	start   time.Time
-	workers []*Worker
-	queues  []registeredQueue
-	series  *series
-	stop    chan struct{}
-	done    chan struct{}
-	last    *Report
+	mu       sync.Mutex
+	engine   string
+	start    time.Time
+	workers  []*Worker
+	queues   []registeredQueue
+	series   *series
+	observer func(Sample)
+	stop     chan struct{}
+	done     chan struct{}
+	last     *Report
 }
 
 // New returns a Telemetry with default knobs, ready for mr.Config.
@@ -204,6 +236,7 @@ func (t *Telemetry) BeginRun(engine string) {
 	t.start = time.Now()
 	t.workers = nil
 	t.queues = nil
+	t.observer = nil
 	interval := t.Interval
 	if interval <= 0 {
 		interval = DefaultInterval
@@ -231,11 +264,25 @@ func (t *Telemetry) RegisterWorker(role string, id int) *Worker {
 	return w
 }
 
-// RegisterQueue adds a queue depth probe for the current run.
-func (t *Telemetry) RegisterQueue(name string, p Probe) {
+// RegisterQueue adds a queue depth probe for the current run and returns
+// the queue's consumer mirror (callers that do not mirror may discard
+// it).
+func (t *Telemetry) RegisterQueue(name string, p Probe) *QueueMirror {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.queues = append(t.queues, registeredQueue{name: name, probe: p})
+	m := &QueueMirror{}
+	t.queues = append(t.queues, registeredQueue{name: name, probe: p, mirror: m})
+	return m
+}
+
+// SetObserver registers fn to be called with every regular sampler tick's
+// Sample, from the sampler goroutine, outside the telemetry lock. The
+// online tuner driver uses it as its epoch clock. Pass nil to remove the
+// observer; BeginRun also clears it.
+func (t *Telemetry) SetObserver(fn func(Sample)) {
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
 }
 
 // sampleLoop drives the sampler until stop closes.
@@ -248,16 +295,18 @@ func (t *Telemetry) sampleLoop(interval time.Duration, stop, done chan struct{})
 		case <-stop:
 			return
 		case <-ticker.C:
-			t.sample()
+			t.sample(false)
 		}
 	}
 }
 
-// sample takes one snapshot of every queue depth and worker state.
-func (t *Telemetry) sample() {
+// sample takes one snapshot of every queue depth and worker state. force
+// bypasses the series' stride decimation (used for the final sample) and
+// skips the observer, so observers see exactly the regular tick cadence.
+func (t *Telemetry) sample(force bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.series == nil {
+		t.mu.Unlock()
 		return
 	}
 	s := Sample{T: time.Since(t.start)}
@@ -273,7 +322,56 @@ func (t *Telemetry) sample() {
 			s.States[i] = State(w.state.Load())
 		}
 	}
-	t.series.add(s)
+	if force {
+		t.series.force(s)
+	} else {
+		t.series.add(s)
+	}
+	fn := t.observer
+	t.mu.Unlock()
+	if fn != nil && !force {
+		fn(s)
+	}
+}
+
+// Counters is a point-in-time aggregate of the live counter mirrors: the
+// producer side summed over worker shards, the consumer side summed over
+// queue mirrors. Values are cumulative since BeginRun; the tuner forms
+// per-epoch rates by differencing two snapshots.
+type Counters struct {
+	// Producer side (worker shards).
+	Emitted    uint64
+	Combined   uint64
+	Pushes     uint64
+	FailedPush uint64
+	// Consumer side (queue mirrors).
+	Pops       uint64
+	EmptyPolls uint64
+	ShortPolls uint64
+	BatchCalls uint64
+}
+
+// CountersNow snapshots the aggregate counters for the current run. Safe
+// to call concurrently with the run.
+func (t *Telemetry) CountersNow() Counters {
+	t.mu.Lock()
+	workers := t.workers
+	queues := t.queues
+	t.mu.Unlock()
+	var c Counters
+	for _, w := range workers {
+		c.Emitted += w.emitted.Load()
+		c.Combined += w.combined.Load()
+		c.Pushes += w.pushes.Load()
+		c.FailedPush += w.failedPush.Load()
+	}
+	for _, q := range queues {
+		c.Pops += q.mirror.pops.Load()
+		c.EmptyPolls += q.mirror.emptyPolls.Load()
+		c.ShortPolls += q.mirror.shortPolls.Load()
+		c.BatchCalls += q.mirror.batchCalls.Load()
+	}
+	return c
 }
 
 // stopLocked halts the sampler; callers hold t.mu. The lock is released
@@ -304,7 +402,7 @@ func (t *Telemetry) Stop() {
 // ...); pass nil when unknown. The report is also retained for LastReport
 // and the Prometheus exporter.
 func (t *Telemetry) EndRun(phases map[string]float64) *Report {
-	t.sample()
+	t.sample(true)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stopLocked()

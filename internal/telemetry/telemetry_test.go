@@ -75,7 +75,7 @@ func TestEndRunBuildsReport(t *testing.T) {
 	w.SetState(StateWorking)
 	w.AddEmitted(100)
 	w.AddTasks(2)
-	w.StoreProducer(7, 13)
+	w.StoreProducer(100, 7, 13)
 	cw := tel.RegisterWorker("combiner", 0)
 	cw.AddCombined(100)
 	cw.AddBatches(4)
@@ -126,6 +126,79 @@ func TestEndRunForcesASampleOnShortRuns(t *testing.T) {
 	}
 }
 
+func TestSeriesForceBypassesStride(t *testing.T) {
+	// Once decimation has raised the stride, a plain add drops most
+	// offers; force must record regardless, so EndRun's final sample is
+	// never lost.
+	s := newSeries(8)
+	for i := 0; i < 100; i++ {
+		s.add(Sample{T: time.Duration(i) * time.Millisecond})
+	}
+	if s.stride < 2 {
+		t.Fatalf("setup: stride %d, want decimation", s.stride)
+	}
+	final := Sample{T: time.Hour}
+	s.add(final) // skipped==0 after the reset, so the stride drops this
+	s.force(final)
+	if got := s.samples[len(s.samples)-1].T; got != time.Hour {
+		t.Fatalf("forced sample not recorded: last T = %v", got)
+	}
+}
+
+func TestObserverSeesRegularTicks(t *testing.T) {
+	tel := &Telemetry{Interval: time.Millisecond}
+	tel.BeginRun("ramr")
+	tel.RegisterQueue("mapper-0", &fakeProbe{depth: 3, cap: 8})
+	ticks := make(chan Sample, 64)
+	tel.SetObserver(func(s Sample) { ticks <- s })
+	select {
+	case s := <-ticks:
+		if len(s.Depths) != 1 || s.Depths[0] != 3 {
+			t.Fatalf("observer sample depths = %v, want [3]", s.Depths)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("observer never called")
+	}
+	tel.EndRun(nil)
+	// A later BeginRun must not inherit the observer.
+	tel.BeginRun("ramr")
+	for len(ticks) > 0 {
+		<-ticks
+	}
+	time.Sleep(5 * time.Millisecond)
+	tel.Stop()
+	if len(ticks) != 0 {
+		t.Fatal("observer survived BeginRun")
+	}
+}
+
+func TestCountersNowAggregates(t *testing.T) {
+	tel := &Telemetry{Interval: time.Hour}
+	tel.BeginRun("ramr")
+	defer tel.Stop()
+	w0 := tel.RegisterWorker("mapper", 0)
+	w0.AddEmitted(10)
+	w0.StoreProducer(10, 2, 5)
+	w1 := tel.RegisterWorker("mapper", 1)
+	w1.AddEmitted(4)
+	w1.StoreProducer(4, 1, 0)
+	cw := tel.RegisterWorker("combiner", 0)
+	cw.AddCombined(14)
+	m0 := tel.RegisterQueue("mapper-0", &fakeProbe{cap: 8})
+	m0.StoreConsumer(10, 3, 2, 1)
+	m1 := tel.RegisterQueue("mapper-1", &fakeProbe{cap: 8})
+	m1.StoreConsumer(4, 1, 1, 1)
+
+	got := tel.CountersNow()
+	want := Counters{
+		Emitted: 14, Combined: 14, Pushes: 14, FailedPush: 3,
+		Pops: 14, EmptyPolls: 4, ShortPolls: 3, BatchCalls: 2,
+	}
+	if got != want {
+		t.Fatalf("CountersNow = %+v, want %+v", got, want)
+	}
+}
+
 func TestStopIdempotentAndReusable(t *testing.T) {
 	tel := New()
 	tel.Stop() // never started: no-op
@@ -147,7 +220,9 @@ func TestWorkerNilReceiverSafe(t *testing.T) {
 	w.AddCombined(1)
 	w.AddTasks(1)
 	w.AddBatches(1)
-	w.StoreProducer(1, 2)
+	w.StoreProducer(1, 2, 3)
+	var m *QueueMirror
+	m.StoreConsumer(1, 2, 3, 4)
 }
 
 func TestReportJSONAndSummary(t *testing.T) {

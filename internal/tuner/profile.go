@@ -1,0 +1,84 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Profile is the reusable artifact an offline search emits: the winning
+// static knob settings for one workload on one host, plus enough
+// provenance to judge whether it still applies. mr.Config.ApplyProfile
+// loads it as a warm start; ramrtune -load round-trips it.
+type Profile struct {
+	// Workload names what was tuned ("HG", "synth cpu:60/mem:40", ...).
+	Workload string `json:"workload"`
+	// Engine is the engine the search ran ("ramr").
+	Engine string `json:"engine"`
+	// Host describes the machine the numbers were measured on.
+	Host string `json:"host,omitempty"`
+	// Best is the winning point.
+	Best Point `json:"best"`
+	// Seconds is the winning point's measured cost.
+	Seconds float64 `json:"seconds"`
+	// Evaluations counts distinct points measured to find Best.
+	Evaluations int `json:"evaluations"`
+	// Converged records whether the search early-stopped (true) or ran
+	// out of passes.
+	Converged bool `json:"converged"`
+	// Seed is the input-generator seed the measurements used.
+	Seed int64 `json:"seed"`
+}
+
+// Validate reports the first problem that would make the profile unusable
+// as a Config warm start.
+func (p *Profile) Validate() error {
+	switch {
+	case p == nil:
+		return fmt.Errorf("tuner: nil profile")
+	case p.Best.Ratio < 1:
+		return fmt.Errorf("tuner: profile ratio must be >= 1, got %d", p.Best.Ratio)
+	case p.Best.QueueCapacity < 1:
+		return fmt.Errorf("tuner: profile queue capacity must be >= 1, got %d", p.Best.QueueCapacity)
+	case p.Best.BatchSize < 1:
+		return fmt.Errorf("tuner: profile batch size must be >= 1, got %d", p.Best.BatchSize)
+	}
+	return nil
+}
+
+// WriteJSON emits the profile as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteFile writes the profile to path.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadProfile reads and validates a profile written by WriteFile.
+func LoadProfile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("tuner: parsing profile %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("tuner: profile %s: %w", path, err)
+	}
+	return &p, nil
+}

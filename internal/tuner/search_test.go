@@ -1,0 +1,122 @@
+package tuner
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// convexCost is a deterministic objective with a unique minimum at
+// (ratio=2, cap=4096, batch=500): log-distance from the optimum per axis.
+func convexCost(p Point) (float64, error) {
+	d := func(v, best int) float64 {
+		return math.Abs(math.Log(float64(v)) - math.Log(float64(best)))
+	}
+	return 1 + d(p.Ratio, 2) + d(p.QueueCapacity, 4096) + d(p.BatchSize, 500), nil
+}
+
+func testSpace() Space {
+	return Space{
+		Ratios:     []int{1, 2, 4, 8},
+		Capacities: []int{512, 4096, 8192},
+		Batches:    []int{100, 500, 2000},
+	}
+}
+
+// TestCoordinateDescentFindsOptimum: from the worst corner, the search
+// must reach the global optimum of a separable objective.
+func TestCoordinateDescentFindsOptimum(t *testing.T) {
+	start := Point{Ratio: 8, QueueCapacity: 512, BatchSize: 2000}
+	res, err := CoordinateDescent(testSpace(), start, convexCost, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Point{Ratio: 2, QueueCapacity: 4096, BatchSize: 500}
+	if res.Best != want {
+		t.Fatalf("best = %v, want %v", res.Best, want)
+	}
+	if !res.Converged {
+		t.Fatalf("search did not report convergence: %+v", res)
+	}
+}
+
+// TestCoordinateDescentCachesEvaluations: the eval function must never be
+// called twice for the same point, so later passes over an already-swept
+// axis are free.
+func TestCoordinateDescentCachesEvaluations(t *testing.T) {
+	calls := map[Point]int{}
+	eval := func(p Point) (float64, error) {
+		calls[p]++
+		return convexCost(p)
+	}
+	start := Point{Ratio: 1, QueueCapacity: 512, BatchSize: 100}
+	if _, err := CoordinateDescent(testSpace(), start, eval, SearchOptions{MaxPasses: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for p, n := range calls {
+		if n > 1 {
+			t.Fatalf("point %v evaluated %d times", p, n)
+		}
+	}
+}
+
+// TestCoordinateDescentEarlyStops: a flat objective must stop after the
+// first pass instead of burning MaxPasses.
+func TestCoordinateDescentEarlyStops(t *testing.T) {
+	flat := func(Point) (float64, error) { return 1.0, nil }
+	start := Point{Ratio: 1, QueueCapacity: 512, BatchSize: 100}
+	res, err := CoordinateDescent(testSpace(), start, flat, SearchOptions{MaxPasses: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 1 || !res.Converged {
+		t.Fatalf("flat search ran %d passes (converged=%v), want early stop after 1", res.Passes, res.Converged)
+	}
+}
+
+// TestProfileRoundTrip: WriteFile → LoadProfile must preserve the profile
+// exactly (this is the CI smoke job's in-process twin).
+func TestProfileRoundTrip(t *testing.T) {
+	p := &Profile{
+		Workload:    "HG",
+		Engine:      "ramr",
+		Host:        "test",
+		Best:        Point{Ratio: 2, QueueCapacity: 4096, BatchSize: 500},
+		Seconds:     0.123,
+		Evaluations: 9,
+		Converged:   true,
+		Seed:        42,
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("round trip changed profile:\n%+v\nvs\n%+v", got, p)
+	}
+}
+
+// TestLoadProfileRejectsGarbage: malformed JSON and invalid knob values
+// must fail with an error, not load.
+func TestLoadProfileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(bad); err == nil {
+		t.Fatal("malformed JSON loaded")
+	}
+	zero := filepath.Join(dir, "zero.json")
+	if err := (&Profile{}).WriteFile(zero); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(zero); err == nil {
+		t.Fatal("zero-knob profile loaded")
+	}
+}
