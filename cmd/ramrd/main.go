@@ -1,0 +1,115 @@
+// Command ramrd is the RAMR job service daemon: an HTTP front end over
+// the multi-job scheduler (internal/sched) through which clients submit
+// named workloads, poll status, fetch results, cancel jobs, and scrape
+// one aggregated Prometheus /metrics endpoint with per-job labels.
+//
+// Quickstart:
+//
+//	ramrd -addr 127.0.0.1:8080 &
+//	curl -s -X POST localhost:8080/jobs \
+//	     -d '{"workload":"WC","priority":"high"}'
+//	curl -s localhost:8080/jobs/1
+//	curl -s localhost:8080/jobs/1/result
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops admission, waits for queued and
+// running jobs up to -drain-timeout, cancels stragglers, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ramr/internal/service"
+	"ramr/internal/topology"
+)
+
+func parseMachine(s string) (*topology.Machine, error) {
+	switch {
+	case s == "" || s == "host":
+		return topology.Detect(), nil
+	case s == "haswell":
+		return topology.HaswellServer(), nil
+	case s == "phi":
+		return topology.XeonPhi(), nil
+	case strings.HasPrefix(s, "flat:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "flat:"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid flat machine %q (want flat:N)", s)
+		}
+		return topology.Flat(n), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want host|haswell|phi|flat:N)", s)
+	}
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		machine      = flag.String("machine", "host", "topology: host, haswell, phi, or flat:N (synthetic presets let a small host exercise multi-job scheduling)")
+		budget       = flag.Int("budget", 0, "logical-CPU budget shared by all jobs (0 = whole machine)")
+		maxQueued    = flag.Int("max-queued", 0, "admission queue bound; POST /jobs returns 429 beyond it (0 = default)")
+		seed         = flag.Int64("seed", 0, "scheduler tie-break seed")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and running jobs before cancelling")
+	)
+	flag.Parse()
+
+	m, err := parseMachine(*machine)
+	if err != nil {
+		log.Fatalf("ramrd: %v", err)
+	}
+	svc, err := service.New(service.Config{
+		Machine:   m,
+		Budget:    *budget,
+		MaxQueued: *maxQueued,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatalf("ramrd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ramrd: listen: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("ramrd: serving on http://%s (machine %s, budget %d CPUs)",
+		ln.Addr(), m.Name, svc.Scheduler().Budget())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("ramrd: %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("ramrd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the scheduler: queued jobs
+	// still run, stragglers past the deadline are cancelled but awaited.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ramrd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ramrd: drain: %v", err)
+	} else if err != nil {
+		log.Printf("ramrd: drain deadline hit, stragglers cancelled")
+	}
+	log.Printf("ramrd: bye")
+}

@@ -66,9 +66,17 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// A context that is already dead must fail fast: no queue, worker or
+	// sampler is ever created for a run that cannot make progress.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mappers := cfg.Mappers
 	combiners := cfg.NumCombiners()
 	machine := cfg.ResolveMachine()
+	if err := validateGrant(machine, cfg.CPUGrant); err != nil {
+		return nil, err
+	}
 
 	// With the tuner enabled the combiner pool is elastic: the plan and
 	// container set are sized for the pool's ceiling so combiners added
@@ -79,6 +87,21 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	var tunerCfg tuner.Config
 	if tcfg != nil {
 		tunerCfg = resolveTuner(*tcfg, mappers, cfg.QueueCapacity)
+		// A CPU grant is a hard worker budget: the elastic pool may
+		// never grow past what the grant can host alongside the mappers,
+		// or a tuned job would spill onto CPUs granted to someone else.
+		if g := len(cfg.CPUGrant); g > 0 {
+			ceil := g - mappers
+			if ceil < 1 {
+				ceil = 1
+			}
+			if tunerCfg.MaxCombiners > ceil {
+				tunerCfg.MaxCombiners = ceil
+			}
+			if tunerCfg.MinCombiners > tunerCfg.MaxCombiners {
+				tunerCfg.MinCombiners = tunerCfg.MaxCombiners
+			}
+		}
 		maxCombiners = tunerCfg.MaxCombiners
 		if combiners > tunerCfg.MaxCombiners {
 			combiners = tunerCfg.MaxCombiners
@@ -142,7 +165,7 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if c := queues[0].Cap(); emitBatch > c {
 		emitBatch = c
 	}
-	plan := BuildPlan(machine, mappers, maxCombiners, cfg.Pin)
+	plan := BuildPlanOn(machine, cfg.CPUGrant, mappers, maxCombiners, cfg.Pin)
 	res.Phases.Init = time.Since(t0)
 
 	// --- Partition: tasks into per-locality-group queues. ---
@@ -501,6 +524,20 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 		}
 	}
 	return res, nil
+}
+
+// validateGrant checks a CPU grant against the resolved machine: every id
+// must name an existing logical CPU. Uniqueness and sign were already
+// enforced by Config.Validate; this is the machine-dependent half, checked
+// once per run before any resource is allocated.
+func validateGrant(machine *topology.Machine, grant []int) error {
+	n := machine.NumCPUs()
+	for _, cpu := range grant {
+		if cpu >= n {
+			return fmt.Errorf("core: CPUGrant cpu %d out of range for %s (%d logical CPUs)", cpu, machine.Name, n)
+		}
+	}
+	return nil
 }
 
 // drainDiscard empties every queue in qs without touching user code,

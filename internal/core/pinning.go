@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ramr/internal/mr"
@@ -49,10 +50,40 @@ func QueueAssignment(mappers, combiners int) [][2]int {
 // PinRoundRobin scatters threads across sockets in role-oblivious order,
 // and PinNone produces an all-unpinned plan.
 func BuildPlan(m *topology.Machine, mappers, combiners int, policy mr.PinPolicy) Plan {
+	return BuildPlanOn(m, nil, mappers, combiners, policy)
+}
+
+// BuildPlanOn is BuildPlan restricted to a CPU grant: when grant is
+// non-empty the plan only ever places threads on those logical CPUs, so a
+// scheduler handing disjoint grants to concurrent jobs gets disjoint
+// pinning plans. The contention-aware layout is preserved *inside* the
+// grant — PinRAMR walks the machine's compact order filtered to granted
+// CPUs, so SMT siblings and same-socket cores that are both granted stay
+// adjacent. A nil or empty grant means the whole machine (BuildPlan).
+func BuildPlanOn(m *topology.Machine, grant []int, mappers, combiners int, policy mr.PinPolicy) Plan {
 	p := Plan{
 		MapperCPU:   make([]int, mappers),
 		CombinerCPU: make([]int, combiners),
 		Policy:      policy,
+	}
+	inGrant := func(int) bool { return true }
+	if len(grant) > 0 {
+		set := make(map[int]bool, len(grant))
+		any := false
+		for _, cpu := range grant {
+			set[cpu] = true
+			if cpu >= 0 && cpu < m.NumCPUs() {
+				any = true
+			}
+		}
+		inGrant = func(cpu int) bool { return set[cpu] }
+		// A grant with no CPU on this machine cannot be pinned to;
+		// degrade to an unpinned plan rather than divide by zero (the
+		// engine validates grants against the resolved machine up front,
+		// so this is reachable only through direct BuildPlanOn calls).
+		if !any {
+			policy = mr.PinNone
+		}
 	}
 	switch policy {
 	case mr.PinNone:
@@ -73,10 +104,16 @@ func BuildPlan(m *topology.Machine, mappers, combiners int, policy mr.PinPolicy)
 		// quantifies. On a compact-enumerated machine (Xeon Phi) the
 		// numeric order nearly coincides with the topology-aware
 		// order, and the paper indeed measures only 1-3% there.
-		n := m.NumCPUs()
+		ids := make([]int, 0, m.NumCPUs())
+		for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+			if inGrant(cpu) {
+				ids = append(ids, cpu)
+			}
+		}
+		sort.Ints(ids)
 		slot := 0
 		take := func() int {
-			cpu := slot % n
+			cpu := ids[slot%len(ids)]
 			slot++
 			return cpu
 		}
@@ -87,7 +124,12 @@ func BuildPlan(m *topology.Machine, mappers, combiners int, policy mr.PinPolicy)
 			}
 		}
 	case mr.PinRAMR:
-		order := m.CompactOrder()
+		order := make([]int, 0, m.NumCPUs())
+		for _, cpu := range m.CompactOrder() {
+			if inGrant(cpu) {
+				order = append(order, cpu)
+			}
+		}
 		slot := 0
 		take := func() int {
 			cpu := order[slot%len(order)]

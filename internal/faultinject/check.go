@@ -47,6 +47,8 @@ var workerSites = []string{
 	"ramr/internal/core.startElastic",
 	"ramr/internal/core.runElasticCombiner",
 	"ramr/internal/phoenix.RunContext",
+	"ramr/internal/sched.(*Scheduler).startLocked",
+	"ramr/internal/sched.runSafe",
 	"ramr/internal/spsc.(",
 	"ramr/internal/mr.MergeContainers",
 	"ramr/internal/mr.ReduceAll",

@@ -93,6 +93,19 @@ type Config struct {
 	// Machine describes the topology used for pinning decisions. When
 	// nil, the host is detected at run time.
 	Machine *topology.Machine
+	// CPUGrant, when non-empty, restricts the RAMR run to this set of
+	// logical CPU ids instead of assuming it owns the whole machine: the
+	// pinning plan is laid out over exactly these CPUs (in the machine's
+	// compact order, so the contention-aware placement stays valid inside
+	// the grant) and the elastic combiner pool treats the grant as a hard
+	// ceiling on its worker count. The multi-job scheduler
+	// (internal/sched) hands each admitted job a disjoint grant so
+	// concurrent runs never contend for the same logical CPUs. Ids must
+	// be unique, non-negative, and valid for the resolved Machine. Empty
+	// means the historical single-job behaviour: the full machine. The
+	// Phoenix++ baseline engine does not pin and ignores the field beyond
+	// validation.
+	CPUGrant []int
 	// Trace, when non-nil, records per-worker execution timelines
 	// (task spans for mappers and fused workers, batch spans for
 	// combiners) for Chrome-trace export. Tracing costs one slice
@@ -253,10 +266,48 @@ func (c Config) Validate() error {
 	case c.EmitBatch < 0:
 		return fmt.Errorf("mr: EmitBatch must be >= 0 (0 selects the default), got %d", c.EmitBatch)
 	}
+	seen := make(map[int]bool, len(c.CPUGrant))
+	for _, cpu := range c.CPUGrant {
+		if cpu < 0 {
+			return fmt.Errorf("mr: CPUGrant contains negative cpu id %d", cpu)
+		}
+		if seen[cpu] {
+			return fmt.Errorf("mr: CPUGrant contains duplicate cpu id %d", cpu)
+		}
+		seen[cpu] = true
+	}
 	if err := c.Tuner.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// ApplyGrant configures the run for an externally granted CPU set: the
+// grant becomes CPUGrant and the worker counts are resized so the whole
+// pool fits on it — combiners get roughly 1/(Ratio+1) of the grant (the
+// mapper-to-combiner ratio of §III-B applied to a partial machine), the
+// mappers the rest. A one-CPU grant still runs the minimal 1+1 pipeline
+// (one mapper, one combiner sharing the CPU). An empty grant is a no-op.
+func (c *Config) ApplyGrant(cpus []int) {
+	n := len(cpus)
+	if n == 0 {
+		return
+	}
+	c.CPUGrant = append([]int(nil), cpus...)
+	r := c.Ratio
+	if r < 1 {
+		r = 1
+	}
+	combiners := n / (r + 1)
+	if combiners < 1 {
+		combiners = 1
+	}
+	mappers := n - combiners
+	if mappers < 1 {
+		mappers = 1
+	}
+	c.Mappers = mappers
+	c.Combiners = combiners
 }
 
 // ApplyProfile overwrites the searchable knobs (ratio, queue capacity,

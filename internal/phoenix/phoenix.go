@@ -45,6 +45,11 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// A context that is already dead must fail fast: no worker or sampler
+	// is ever created for a run that cannot make progress.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := cfg.Mappers + cfg.NumCombiners()
 
 	res := &mr.Result[K, R]{}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/sched"
+	"ramr/internal/synth"
+	"ramr/internal/topology"
+	"ramr/internal/tuner"
+	"ramr/internal/workloads"
+)
+
+// JobRequest is the POST /jobs body. Everything except Workload is
+// optional; zero values select the documented defaults.
+type JobRequest struct {
+	// Workload names the app: one of WC, HG, LR, KM, PCA, MM, SM (Table
+	// I names, case-insensitive) or SYNTH for the §III-C synthetic job.
+	Workload string `json:"workload"`
+	// Platform/Class pick the Table I input column and flavor:
+	// "hwl"/"phi" and "small"/"medium"/"large". Defaults: hwl, small.
+	Platform string `json:"platform,omitempty"`
+	Class    string `json:"class,omitempty"`
+	// Container overrides the intermediate container: "fixedarray",
+	// "fixedhash", "hash". Default: the app's stress configuration.
+	Container string `json:"container,omitempty"`
+	// Engine is "ramr" (default) or "phoenix".
+	Engine string `json:"engine,omitempty"`
+	// Priority is "low", "normal" (default) or "high".
+	Priority string `json:"priority,omitempty"`
+	// MinCPUs/MaxCPUs bound the CPU grant; 0 means 1 / whole budget.
+	MinCPUs int `json:"min_cpus,omitempty"`
+	MaxCPUs int `json:"max_cpus,omitempty"`
+	// Seed makes the generated input and the tuner deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Tuner enables the adaptive runtime; the decision log is retained
+	// and served from GET /jobs/{id}/result.
+	Tuner bool `json:"tuner,omitempty"`
+	// Config overlays engine knobs on mr.DefaultConfig. Mappers and
+	// Combiners, when set, override the grant-derived worker split (the
+	// grant still caps pinning and the elastic pool).
+	Config ConfigOverlay `json:"config,omitempty"`
+	// Synth parameterizes the SYNTH workload; ignored otherwise.
+	Synth SynthParams `json:"synth,omitempty"`
+
+	// Parsed during validation.
+	engine   workloads.Engine
+	priority sched.Priority
+}
+
+// ConfigOverlay is the subset of mr.Config settable over the API.
+type ConfigOverlay struct {
+	Mappers       int    `json:"mappers,omitempty"`
+	Combiners     int    `json:"combiners,omitempty"`
+	Ratio         int    `json:"ratio,omitempty"`
+	TaskSize      int    `json:"task_size,omitempty"`
+	QueueCapacity int    `json:"queue_capacity,omitempty"`
+	BatchSize     int    `json:"batch_size,omitempty"`
+	EmitBatch     int    `json:"emit_batch,omitempty"`
+	Pin           string `json:"pin,omitempty"`
+}
+
+// SynthParams parameterizes the synthetic workload (§III-C): kernel
+// kinds are "cpu" or "memory".
+type SynthParams struct {
+	Elements         int    `json:"elements,omitempty"`
+	Keys             int    `json:"keys,omitempty"`
+	MapKind          string `json:"map_kind,omitempty"`
+	MapIntensity     int    `json:"map_intensity,omitempty"`
+	CombineKind      string `json:"combine_kind,omitempty"`
+	CombineIntensity int    `json:"combine_intensity,omitempty"`
+}
+
+func parseContainer(s string) (container.Kind, error) {
+	switch strings.ToLower(s) {
+	case "fixedarray", "fixed-array", "array":
+		return container.KindFixedArray, nil
+	case "fixedhash", "fixed-hash":
+		return container.KindFixedHash, nil
+	case "hash":
+		return container.KindHash, nil
+	default:
+		return 0, fmt.Errorf("unknown container %q (want fixedarray|fixedhash|hash)", s)
+	}
+}
+
+func parseKernelKind(s string) (synth.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "cpu":
+		return synth.CPU, nil
+	case "memory", "mem":
+		return synth.Memory, nil
+	default:
+		return 0, fmt.Errorf("unknown kernel kind %q (want cpu|memory)", s)
+	}
+}
+
+func parsePlatform(s string) (workloads.Platform, error) {
+	switch strings.ToLower(s) {
+	case "", "hwl", "haswell":
+		return workloads.HWL, nil
+	case "phi", "xeon-phi":
+		return workloads.PHI, nil
+	default:
+		return 0, fmt.Errorf("unknown platform %q (want hwl|phi)", s)
+	}
+}
+
+func parseClass(s string) (workloads.SizeClass, error) {
+	switch strings.ToLower(s) {
+	case "", "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	default:
+		return 0, fmt.Errorf("unknown size class %q (want small|medium|large)", s)
+	}
+}
+
+// buildJob validates req, instantiates the named workload and assembles
+// the base engine config (before the grant overlay applied at dispatch).
+func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, error) {
+	var cfg mr.Config
+
+	switch strings.ToLower(req.Engine) {
+	case "", "ramr":
+		req.engine = workloads.EngineRAMR
+	case "phoenix", "phoenix++":
+		req.engine = workloads.EnginePhoenix
+	default:
+		return nil, cfg, fmt.Errorf("unknown engine %q (want ramr|phoenix)", req.Engine)
+	}
+	prio, err := sched.ParsePriority(strings.ToLower(req.Priority))
+	if err != nil {
+		return nil, cfg, err
+	}
+	req.priority = prio
+
+	app := strings.ToUpper(strings.TrimSpace(req.Workload))
+	var job *workloads.Job
+	switch app {
+	case "":
+		return nil, cfg, fmt.Errorf("workload is required")
+	case "SYNTH":
+		p := synth.DefaultParams()
+		sp := req.Synth
+		if sp.Elements > 0 {
+			p.Elements = sp.Elements
+		}
+		if sp.Keys > 0 {
+			p.Keys = sp.Keys
+		}
+		if sp.MapKind != "" || sp.MapIntensity > 0 {
+			k, err := parseKernelKind(sp.MapKind)
+			if err != nil {
+				return nil, cfg, err
+			}
+			p.MapKernel.Kind = k
+			if sp.MapIntensity > 0 {
+				p.MapKernel.Intensity = sp.MapIntensity
+			}
+		}
+		if sp.CombineKind != "" || sp.CombineIntensity > 0 {
+			k, err := parseKernelKind(sp.CombineKind)
+			if err != nil {
+				return nil, cfg, err
+			}
+			p.CombineKernel.Kind = k
+			if sp.CombineIntensity > 0 {
+				p.CombineKernel.Intensity = sp.CombineIntensity
+			}
+		}
+		job = synth.NewJob(p, req.Seed)
+	default:
+		platform, err := parsePlatform(req.Platform)
+		if err != nil {
+			return nil, cfg, err
+		}
+		class, err := parseClass(req.Class)
+		if err != nil {
+			return nil, cfg, err
+		}
+		in, err := workloads.Input(app, platform, class)
+		if err != nil {
+			return nil, cfg, err
+		}
+		kind := workloads.StressContainer(app)
+		if req.Container != "" {
+			if kind, err = parseContainer(req.Container); err != nil {
+				return nil, cfg, err
+			}
+		}
+		if job, err = workloads.NewJobParams(app, in.Params, kind, req.Seed); err != nil {
+			return nil, cfg, err
+		}
+	}
+
+	cfg = mr.DefaultConfig()
+	cfg.Machine = m
+	ov := req.Config
+	if ov.Ratio > 0 {
+		cfg.Ratio = ov.Ratio
+	}
+	if ov.TaskSize > 0 {
+		cfg.TaskSize = ov.TaskSize
+	}
+	if ov.QueueCapacity > 0 {
+		cfg.QueueCapacity = ov.QueueCapacity
+	}
+	if ov.BatchSize > 0 {
+		cfg.BatchSize = ov.BatchSize
+	}
+	if ov.EmitBatch > 0 {
+		cfg.EmitBatch = ov.EmitBatch
+	}
+	if ov.Pin != "" {
+		pin, err := mr.ParsePinPolicy(ov.Pin)
+		if err != nil {
+			return nil, cfg, err
+		}
+		cfg.Pin = pin
+	}
+	if req.Tuner {
+		cfg.Tuner = &tuner.Config{Seed: req.Seed}
+	}
+	return job, cfg, nil
+}

@@ -1,0 +1,377 @@
+// Package service is the multi-job front end over internal/sched: a JSON
+// HTTP API through which clients submit named workloads, poll status,
+// fetch results and cancel jobs, plus one shared Prometheus endpoint
+// aggregating every job's live telemetry under per-job labels. The ramrd
+// daemon (cmd/ramrd) is a thin flag-parsing wrapper around this package.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ramr/internal/mr"
+	"ramr/internal/sched"
+	"ramr/internal/telemetry"
+	"ramr/internal/topology"
+	"ramr/internal/workloads"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Machine is the topology the scheduler carves grants from; nil
+	// detects the host.
+	Machine *topology.Machine
+	// Budget, MaxQueued and Seed are passed to sched.Config.
+	Budget    int
+	MaxQueued int
+	Seed      int64
+	// Observer taps scheduler events (tests assert invariants on it).
+	Observer func(sched.Event)
+}
+
+// Service owns a scheduler, the job registry and the shared telemetry
+// aggregator.
+type Service struct {
+	machine *topology.Machine
+	sch     *sched.Scheduler
+	multi   *telemetry.Multi
+
+	mu      sync.Mutex
+	entries map[int]*entry
+	closed  bool
+}
+
+// entry is one submitted job's retained state. The RunInfo (phase times,
+// queue stats, telemetry and tuner reports) is kept until the job is
+// deleted, so results survive the run itself.
+type entry struct {
+	id       int
+	workload string
+	engine   workloads.Engine
+	job      *sched.Job
+	telem    *telemetry.Telemetry
+
+	mu   sync.Mutex
+	info *workloads.RunInfo
+}
+
+// New builds a Service.
+func New(cfg Config) (*Service, error) {
+	m := cfg.Machine
+	if m == nil {
+		m = topology.Detect()
+	}
+	s := &Service{
+		machine: m,
+		multi:   telemetry.NewMulti(),
+		entries: make(map[int]*entry),
+	}
+	sc, err := sched.New(sched.Config{
+		Machine:   m,
+		Budget:    cfg.Budget,
+		MaxQueued: cfg.MaxQueued,
+		Seed:      cfg.Seed,
+		Observer:  cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sch = sc
+	return s, nil
+}
+
+// Scheduler exposes the underlying scheduler (tests and embedders).
+func (s *Service) Scheduler() *sched.Scheduler { return s.sch }
+
+// Multi exposes the shared telemetry aggregator backing /metrics.
+func (s *Service) Multi() *telemetry.Multi { return s.multi }
+
+// Submit admits one parsed job request. It is the programmatic core of
+// POST /jobs; the HTTP handler only decodes JSON around it.
+func (s *Service) Submit(req *JobRequest) (*entryStatus, error) {
+	job, cfg, err := buildJob(req, s.machine)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	e := &entry{
+		workload: job.App,
+		engine:   req.engine,
+		telem:    telemetry.New(),
+	}
+	cfg.Telemetry = e.telem
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, sched.ErrDraining
+	}
+	sj, err := s.sch.Submit(sched.JobSpec{
+		Name:     job.App,
+		Priority: req.priority,
+		MinCPUs:  req.MinCPUs,
+		MaxCPUs:  req.MaxCPUs,
+		Run: func(ctx context.Context, grant []int) error {
+			c := cfg
+			c.ApplyGrant(grant)
+			if req.Config.Mappers > 0 {
+				c.Mappers = req.Config.Mappers
+			}
+			if req.Config.Combiners > 0 {
+				c.Combiners = req.Config.Combiners
+			}
+			info, err := job.RunCtx(ctx, req.engine, c)
+			e.mu.Lock()
+			e.info = info
+			e.mu.Unlock()
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.id = sj.ID()
+	e.job = sj
+	s.entries[e.id] = e
+	s.multi.Register(strconv.Itoa(e.id), map[string]string{
+		"job": strconv.Itoa(e.id),
+		"app": e.workload,
+	}, e.telem)
+	st := s.statusLocked(e)
+	return &st, nil
+}
+
+// Shutdown stops admission and drains the scheduler: queued jobs still
+// run, running jobs finish, and anything unfinished at ctx's deadline is
+// cancelled (but its goroutine is awaited). Results of jobs that did
+// finish remain retrievable from the registry afterwards.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.sch.Drain(ctx)
+}
+
+// errBadRequest marks client errors (HTTP 400).
+var errBadRequest = errors.New("bad request")
+
+// entryStatus is the status document for one job, shared by GET /jobs
+// and GET /jobs/{id}.
+type entryStatus struct {
+	ID       int    `json:"id"`
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	Priority string `json:"priority"`
+	State    string `json:"state"`
+	Grant    []int  `json:"grant,omitempty"`
+	QueuedAt string `json:"queued_at,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Result summary, present once the job finished successfully.
+	WallMS float64        `json:"wall_ms,omitempty"`
+	Phases *mr.PhaseTimes `json:"phases,omitempty"`
+	Queue  *mr.QueueStats `json:"queue,omitempty"`
+	Pairs  int            `json:"pairs,omitempty"`
+}
+
+// resultDoc is the full result document for GET /jobs/{id}/result.
+type resultDoc struct {
+	entryStatus
+	Digest    string            `json:"digest,omitempty"`
+	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
+	Tuner     *tunerSummary     `json:"tuner,omitempty"`
+}
+
+// tunerSummary is the retained per-job tuner report, flattened for JSON.
+type tunerSummary struct {
+	Epochs int `json:"epochs"`
+	Report any `json:"report"`
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// statusLocked renders e's status; callers hold s.mu.
+func (s *Service) statusLocked(e *entry) entryStatus {
+	js := e.job.Status()
+	st := entryStatus{
+		ID:       js.ID,
+		Workload: e.workload,
+		Engine:   e.engine.String(),
+		Priority: js.Priority.String(),
+		State:    js.State.String(),
+		Grant:    js.Grant,
+		QueuedAt: fmtTime(js.QueuedAt),
+		Started:  fmtTime(js.Started),
+		Finished: fmtTime(js.Finished),
+	}
+	if js.Err != nil {
+		st.Error = js.Err.Error()
+	}
+	e.mu.Lock()
+	if info := e.info; info != nil {
+		st.WallMS = float64(info.Wall) / float64(time.Millisecond)
+		ph, q := info.Phases, info.Queue
+		st.Phases, st.Queue = &ph, &q
+		st.Pairs = info.Pairs
+	}
+	e.mu.Unlock()
+	return st
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /jobs             submit (429 when saturated, 503 when draining)
+//	GET    /jobs             list all retained jobs
+//	GET    /jobs/{id}        status: state, grant, phase times, queue stats
+//	GET    /jobs/{id}/result full result incl. telemetry and tuner reports
+//	DELETE /jobs/{id}        cancel (queued or running)
+//	GET    /stats            scheduler occupancy and lifetime counters
+//	GET    /metrics          aggregated Prometheus exposition, per-job labels
+//	GET    /healthz          liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.multi.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	st, err := s.Submit(&req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/jobs/"+strconv.Itoa(st.ID))
+		writeJSON(w, http.StatusCreated, st)
+	case errors.Is(err, sched.ErrSaturated):
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, sched.ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]entryStatus, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, s.statusLocked(e))
+	}
+	s.mu.Unlock()
+	// Stable order for clients and tests.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Service) lookup(r *http.Request) (*entry, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, fmt.Errorf("invalid job id %q", r.PathValue("id"))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("no job %d", id)
+	}
+	return e, nil
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(e)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(e)
+	s.mu.Unlock()
+	if st.State == "queued" || st.State == "running" {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	doc := resultDoc{entryStatus: st}
+	e.mu.Lock()
+	if info := e.info; info != nil {
+		if info.Digest != 0 {
+			doc.Digest = fmt.Sprintf("%016x", info.Digest)
+		}
+		doc.Telemetry = info.Telemetry
+		if info.Tuner != nil {
+			doc.Tuner = &tunerSummary{
+				Epochs: len(info.Tuner.Epochs),
+				Report: info.Tuner,
+			}
+		}
+	}
+	e.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	e.job.Cancel()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sch.Stats()
+	writeJSON(w, http.StatusOK, st)
+}

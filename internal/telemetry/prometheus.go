@@ -10,33 +10,58 @@ import (
 	"time"
 )
 
-// WritePrometheus emits the current counters and queue gauges in the
-// Prometheus text exposition format (version 0.0.4). Safe to call while a
-// run is in progress: worker counters are atomics and queue probes are
-// point-in-time snapshots, so a live scrape sees a consistent-enough view
-// without touching the hot path.
-func (t *Telemetry) WritePrometheus(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+// promSnap is one Telemetry's point-in-time export state, captured under
+// its lock so the emitter below can run lock-free. labels is an extra
+// label prefix (`job="3",workload="WC",` — note the trailing comma) merged
+// into every sample's label set, or "" for the historical single-run
+// exposition.
+type promSnap struct {
+	labels  string
+	engine  string
+	workers []*Worker
+	queues  []registeredQueue
+	elapsed time.Duration
+	samples int
+}
 
+// snap captures the export state of the current run.
+func (t *Telemetry) snap(labels string) promSnap {
 	t.mu.Lock()
-	engine := t.engine
-	workers := append([]*Worker(nil), t.workers...)
-	queues := append([]registeredQueue(nil), t.queues...)
-	var elapsed time.Duration
+	defer t.mu.Unlock()
+	s := promSnap{
+		labels:  labels,
+		engine:  t.engine,
+		workers: append([]*Worker(nil), t.workers...),
+		queues:  append([]registeredQueue(nil), t.queues...),
+	}
 	if !t.start.IsZero() {
-		elapsed = time.Since(t.start)
+		s.elapsed = time.Since(t.start)
 	}
-	var sampleCount int
 	if t.series != nil {
-		sampleCount = len(t.series.samples)
+		s.samples = len(t.series.samples)
 	}
-	t.mu.Unlock()
+	return s
+}
+
+// writePromSnaps emits the snapshots in the Prometheus text exposition
+// format (version 0.0.4). Each metric family is written exactly once —
+// HELP/TYPE header first, then every snapshot's samples — so aggregating
+// several live runs still yields a single well-formed exposition.
+func writePromSnaps(w io.Writer, snaps []promSnap) error {
+	if len(snaps) == 0 {
+		// No registered runs: an empty exposition, not a list of
+		// sample-less family headers.
+		return nil
+	}
+	bw := bufio.NewWriter(w)
 
 	counter := func(name, help string, value func(*Worker) uint64) {
 		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, wk := range workers {
-			fmt.Fprintf(bw, "%s{engine=%q,role=%q,worker=\"%d\"} %d\n",
-				name, wk.engine, wk.role, wk.id, value(wk))
+		for _, s := range snaps {
+			for _, wk := range s.workers {
+				fmt.Fprintf(bw, "%s{%sengine=%q,role=%q,worker=\"%d\"} %d\n",
+					name, s.labels, wk.engine, wk.role, wk.id, value(wk))
+			}
 		}
 	}
 	counter("ramr_worker_pairs_emitted_total", "Intermediate pairs emitted by Map.",
@@ -53,23 +78,52 @@ func (t *Telemetry) WritePrometheus(w io.Writer) error {
 		func(w *Worker) uint64 { return w.sleepMicros.Load() })
 
 	fmt.Fprintf(bw, "# HELP ramr_worker_state Worker activity state (0=idle 1=working 2=draining 3=done).\n# TYPE ramr_worker_state gauge\n")
-	for _, wk := range workers {
-		fmt.Fprintf(bw, "ramr_worker_state{engine=%q,role=%q,worker=\"%d\"} %d\n",
-			wk.engine, wk.role, wk.id, wk.state.Load())
+	for _, s := range snaps {
+		for _, wk := range s.workers {
+			fmt.Fprintf(bw, "ramr_worker_state{%sengine=%q,role=%q,worker=\"%d\"} %d\n",
+				s.labels, wk.engine, wk.role, wk.id, wk.state.Load())
+		}
 	}
 
 	fmt.Fprintf(bw, "# HELP ramr_queue_depth Buffered elements in the SPSC ring.\n# TYPE ramr_queue_depth gauge\n")
-	for _, q := range queues {
-		fmt.Fprintf(bw, "ramr_queue_depth{engine=%q,queue=%q} %d\n", engine, q.name, q.probe.Len())
+	for _, s := range snaps {
+		for _, q := range s.queues {
+			fmt.Fprintf(bw, "ramr_queue_depth{%sengine=%q,queue=%q} %d\n", s.labels, s.engine, q.name, q.probe.Len())
+		}
 	}
 	fmt.Fprintf(bw, "# HELP ramr_queue_capacity SPSC ring capacity.\n# TYPE ramr_queue_capacity gauge\n")
-	for _, q := range queues {
-		fmt.Fprintf(bw, "ramr_queue_capacity{engine=%q,queue=%q} %d\n", engine, q.name, q.probe.Cap())
+	for _, s := range snaps {
+		for _, q := range s.queues {
+			fmt.Fprintf(bw, "ramr_queue_capacity{%sengine=%q,queue=%q} %d\n", s.labels, s.engine, q.name, q.probe.Cap())
+		}
 	}
 
-	fmt.Fprintf(bw, "# HELP ramr_run_duration_seconds Elapsed time of the current run.\n# TYPE ramr_run_duration_seconds gauge\nramr_run_duration_seconds %g\n", elapsed.Seconds())
-	fmt.Fprintf(bw, "# HELP ramr_samples_total Samples retained in the occupancy time-series.\n# TYPE ramr_samples_total gauge\nramr_samples_total %d\n", sampleCount)
+	gauge := func(name, help string, value func(promSnap) string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, s := range snaps {
+			if s.labels == "" {
+				fmt.Fprintf(bw, "%s %s\n", name, value(s))
+			} else {
+				// Trim the label prefix's trailing comma when it is
+				// the whole label set.
+				fmt.Fprintf(bw, "%s{%s} %s\n", name, s.labels[:len(s.labels)-1], value(s))
+			}
+		}
+	}
+	gauge("ramr_run_duration_seconds", "Elapsed time of the current run.",
+		func(s promSnap) string { return fmt.Sprintf("%g", s.elapsed.Seconds()) })
+	gauge("ramr_samples_total", "Samples retained in the occupancy time-series.",
+		func(s promSnap) string { return fmt.Sprintf("%d", s.samples) })
 	return bw.Flush()
+}
+
+// WritePrometheus emits the current counters and queue gauges in the
+// Prometheus text exposition format (version 0.0.4). Safe to call while a
+// run is in progress: worker counters are atomics and queue probes are
+// point-in-time snapshots, so a live scrape sees a consistent-enough view
+// without touching the hot path.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	return writePromSnaps(w, []promSnap{t.snap("")})
 }
 
 // Server serves /metrics (Prometheus text format) plus the net/http/pprof
@@ -83,15 +137,18 @@ type Server struct {
 // NewServer starts an HTTP server for t on addr (e.g. "127.0.0.1:9090";
 // ":0" picks a free port — see Addr). Close releases the listener.
 func NewServer(t *Telemetry, addr string) (*Server, error) {
+	return newServer(t.WritePrometheus, addr)
+}
+
+// newServer is the shared server constructor: write renders the /metrics
+// body (a single Telemetry's exposition, or a Multi's aggregate).
+func newServer(write func(io.Writer) error, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = t.WritePrometheus(w)
-	})
+	mux.Handle("/metrics", metricsHandler(write))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,6 +157,16 @@ func NewServer(t *Telemetry, addr string) (*Server, error) {
 	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// metricsHandler adapts an exposition writer into an HTTP handler, shared
+// between the standalone Server and embedding services (cmd/ramrd mounts
+// it on its own mux).
+func metricsHandler(write func(io.Writer) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = write(w)
+	})
 }
 
 // Addr returns the bound listen address (useful with ":0").

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"ramr/internal/container"
@@ -81,15 +82,15 @@ func HistogramSpec(splits [][]byte, kind container.Kind) *mr.Spec[[]byte, int, i
 func HistogramJob(nBytes int, kind container.Kind, seed int64) *Job {
 	splits := GeneratePixels(nBytes, seed)
 	spec := HistogramSpec(splits, kind)
-	return &Job{
+	j := &Job{
 		App:       "HG",
 		FullName:  "Histogram",
 		Container: kind,
 		InputDesc: fmt.Sprintf("%d pixel-bytes in %d splits", nBytes, len(splits)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k, v int) uint64 {
-				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k, v int) uint64 {
+			return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+		})
+	})
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -140,15 +141,15 @@ func KMeansStep(in *KMInput, pairs []mr.Pair[int, float64]) []float64 {
 func KMeansJob(nPoints, dims, k int, kind container.Kind, seed int64) *Job {
 	in := GenerateKMeans(nPoints, dims, k, seed)
 	spec := KMeansSpec(in, kind)
-	return &Job{
+	j := &Job{
 		App:       "KM",
 		FullName:  "KMeans",
 		Container: kind,
 		InputDesc: fmt.Sprintf("%d points, %d dims, %d clusters", nPoints, dims, k),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			// Float accumulation order differs between engines, so no
-			// exact digest: tests compare outputs with a tolerance.
-			return RunTyped(spec, eng, cfg, nil)
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		// Float accumulation order differs between engines, so no
+		// exact digest: tests compare outputs with a tolerance.
+		return RunTypedContext(ctx, spec, eng, cfg, nil)
+	})
 }

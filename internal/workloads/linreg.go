@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"ramr/internal/container"
@@ -112,15 +113,15 @@ func LRSolve(n int, sums map[int]int64) (slope, intercept float64) {
 func LinRegJob(nPoints int, kind container.Kind, seed int64) *Job {
 	splits := GenerateLRPoints(nPoints, seed)
 	spec := LinRegSpec(splits, kind)
-	return &Job{
+	j := &Job{
 		App:       "LR",
 		FullName:  "Linear Regression",
 		Container: kind,
 		InputDesc: fmt.Sprintf("%d points in %d splits", nPoints, len(splits)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k int, v int64) uint64 {
-				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k int, v int64) uint64 {
+			return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+		})
+	})
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"ramr/internal/container"
@@ -114,15 +115,15 @@ func MatMulSpec(in *MMInput, kind container.Kind) *mr.Spec[MMTile, int, int64, i
 func MatMulJob(rows, inner, cols int, kind container.Kind, seed int64) *Job {
 	in := GenerateMM(rows, inner, cols, seed)
 	spec := MatMulSpec(in, kind)
-	return &Job{
+	j := &Job{
 		App:       "MM",
 		FullName:  "Matrix Multiply",
 		Container: kind,
 		InputDesc: fmt.Sprintf("(%dx%d)x(%dx%d), %d tiles", rows, inner, inner, cols, len(in.Splits)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k int, v int64) uint64 {
-				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k int, v int64) uint64 {
+			return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+		})
+	})
 }

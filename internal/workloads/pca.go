@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 
 	"ramr/internal/container"
@@ -123,15 +124,15 @@ func PCASpec(in *PCAInput, kind container.Kind) *mr.Spec[[2]int, int, int64, int
 func PCAJob(n int, kind container.Kind, seed int64) *Job {
 	in := GeneratePCA(n, seed)
 	spec := PCASpec(in, kind)
-	return &Job{
+	j := &Job{
 		App:       "PCA",
 		FullName:  "Principal Component Analysis (covariance)",
 		Container: kind,
 		InputDesc: fmt.Sprintf("%dx%d matrix, %d row pairs", n, n, len(in.PairIndex)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k int, v int64) uint64 {
-				return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k int, v int64) uint64 {
+			return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
+		})
+	})
 }

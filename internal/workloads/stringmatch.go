@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,15 +68,15 @@ func StringMatchSpec(splits []string, patterns []string) *mr.Spec[string, string
 func StringMatchJob(nBytes int, seed int64) *Job {
 	splits := GenerateSMText(nBytes, seed)
 	spec := StringMatchSpec(splits, SMPatterns)
-	return &Job{
+	j := &Job{
 		App:       "SM",
 		FullName:  "String Match (suite extension)",
 		Container: container.KindHash,
 		InputDesc: fmt.Sprintf("%d bytes, %d patterns", nBytes, len(SMPatterns)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k string, v int) uint64 {
-				return mix(container.HashString(k) ^ mix(uint64(v)))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k string, v int) uint64 {
+			return mix(container.HashString(k) ^ mix(uint64(v)))
+		})
+	})
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -98,15 +99,15 @@ func WordCountSpec(splits []string, kind container.Kind) *mr.Spec[string, string
 func WordCountJob(nBytes int, kind container.Kind, seed int64) *Job {
 	splits := GenerateText(nBytes, seed)
 	spec := WordCountSpec(splits, kind)
-	return &Job{
+	j := &Job{
 		App:       "WC",
 		FullName:  "Word Count",
 		Container: kind,
 		InputDesc: fmt.Sprintf("%d words-bytes in %d splits", nBytes, len(splits)),
-		Run: func(eng Engine, cfg mr.Config) (*RunInfo, error) {
-			return RunTyped(spec, eng, cfg, func(k string, v int) uint64 {
-				return mix(container.HashString(k) ^ mix(uint64(v)))
-			})
-		},
 	}
+	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return RunTypedContext(ctx, spec, eng, cfg, func(k string, v int) uint64 {
+			return mix(container.HashString(k) ^ mix(uint64(v)))
+		})
+	})
 }

@@ -12,6 +12,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,6 +20,8 @@ import (
 	"ramr/internal/core"
 	"ramr/internal/mr"
 	"ramr/internal/phoenix"
+	"ramr/internal/telemetry"
+	"ramr/internal/tuner"
 )
 
 // Engine selects which runtime executes a job.
@@ -59,6 +62,13 @@ type RunInfo struct {
 	// point (engines then agree only approximately, because combine
 	// order differs).
 	Digest uint64
+	// Telemetry is the structured run report when the Config carried a
+	// Telemetry; nil otherwise.
+	Telemetry *telemetry.Report
+	// Tuner is the online tuner's decision log when the Config carried a
+	// tuner (RAMR engine only); nil otherwise. The job service retains
+	// it per job.
+	Tuner *tuner.Report
 }
 
 // Job is a ready-to-run application instance.
@@ -73,6 +83,21 @@ type Job struct {
 	InputDesc string
 	// Run executes the job on the selected engine.
 	Run func(eng Engine, cfg mr.Config) (*RunInfo, error)
+	// RunCtx is Run with cancellation: once ctx is cancelled the engine
+	// stops taking tasks, drains and returns ctx's error. The job
+	// service's DELETE path runs jobs through it. Constructors set both
+	// fields via Bind.
+	RunCtx func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error)
+}
+
+// Bind sets both run entry points from one context-aware closure and
+// returns the job, so each constructor defines its execution exactly once.
+func (j *Job) Bind(run func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error)) *Job {
+	j.RunCtx = run
+	j.Run = func(eng Engine, cfg mr.Config) (*RunInfo, error) {
+		return run(context.Background(), eng, cfg)
+	}
+	return j
 }
 
 // RunTyped executes a typed spec on the chosen engine and erases the
@@ -80,6 +105,12 @@ type Job struct {
 // order-independent checksum. Exported so sibling packages (synth) can
 // adapt their own typed specs into Jobs.
 func RunTyped[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], eng Engine, cfg mr.Config, digest func(K, R) uint64) (*RunInfo, error) {
+	return RunTypedContext(context.Background(), spec, eng, cfg, digest)
+}
+
+// RunTypedContext is RunTyped with cancellation, the entry point behind
+// Job.RunCtx.
+func RunTypedContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], eng Engine, cfg mr.Config, digest func(K, R) uint64) (*RunInfo, error) {
 	start := time.Now()
 	var (
 		res *mr.Result[K, R]
@@ -87,9 +118,9 @@ func RunTyped[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], eng Engi
 	)
 	switch eng {
 	case EngineRAMR:
-		res, err = core.Run(spec, cfg)
+		res, err = core.RunContext(ctx, spec, cfg)
 	case EnginePhoenix:
-		res, err = phoenix.Run(spec, cfg)
+		res, err = phoenix.RunContext(ctx, spec, cfg)
 	default:
 		return nil, fmt.Errorf("workloads: unknown engine %v", eng)
 	}
@@ -97,10 +128,12 @@ func RunTyped[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], eng Engi
 		return nil, err
 	}
 	info := &RunInfo{
-		Wall:   time.Since(start),
-		Phases: res.Phases,
-		Queue:  res.QueueStats,
-		Pairs:  len(res.Pairs),
+		Wall:      time.Since(start),
+		Phases:    res.Phases,
+		Queue:     res.QueueStats,
+		Pairs:     len(res.Pairs),
+		Telemetry: res.Telemetry,
+		Tuner:     res.TunerReport,
 	}
 	if digest != nil {
 		var d uint64

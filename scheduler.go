@@ -1,0 +1,162 @@
+package ramr
+
+import (
+	"context"
+	"sync"
+
+	"ramr/internal/core"
+	"ramr/internal/phoenix"
+	"ramr/internal/sched"
+)
+
+// Priority is a scheduled job's service class; higher classes receive a
+// proportionally larger share of the CPU budget under contention
+// (deficit-weighted fair-share, weights 1/2/4) without starving lower
+// ones.
+type Priority = sched.Priority
+
+// Priority classes, low to high.
+const (
+	PriorityLow    = sched.PriorityLow
+	PriorityNormal = sched.PriorityNormal
+	PriorityHigh   = sched.PriorityHigh
+)
+
+// SchedulerConfig parameterizes NewScheduler; see sched.Config.
+type SchedulerConfig = sched.Config
+
+// SchedulerStats is the scheduler occupancy snapshot.
+type SchedulerStats = sched.Stats
+
+// JobState is a scheduled job's lifecycle position.
+type JobState = sched.State
+
+// JobStatus is a point-in-time snapshot of a scheduled job.
+type JobStatus = sched.JobStatus
+
+// ErrSaturated is returned by Submit when the scheduler's bounded
+// admission queue is full; back off and retry.
+var ErrSaturated = sched.ErrSaturated
+
+// Scheduler multiplexes one machine's logical-CPU budget across
+// concurrent MapReduce jobs: each admitted job runs on a disjoint,
+// locality-dense CPU grant, so RAMR's contention-aware pinning stays
+// valid with neighbours on the box. Admission is bounded, ordering is
+// priority-weighted fair-share, and freed CPUs are reserved for
+// longest-waiting starved jobs.
+type Scheduler struct {
+	s *sched.Scheduler
+}
+
+// NewScheduler builds a Scheduler over cfg.Machine (the host when nil).
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	s, err := sched.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{s: s}, nil
+}
+
+// Budget returns the number of schedulable logical CPUs.
+func (sc *Scheduler) Budget() int { return sc.s.Budget() }
+
+// Stats snapshots occupancy and lifetime counters.
+func (sc *Scheduler) Stats() SchedulerStats { return sc.s.Stats() }
+
+// Drain stops admission, lets queued and running jobs finish, and
+// cancels stragglers when ctx expires (still awaiting their goroutines).
+func (sc *Scheduler) Drain(ctx context.Context) error { return sc.s.Drain(ctx) }
+
+// SubmitOptions shapes one Submit call.
+type SubmitOptions struct {
+	// Name labels the job in events and status; defaults to Spec.Name.
+	Name string
+	// Priority is the service class; the zero value is PriorityLow.
+	Priority Priority
+	// MinCPUs/MaxCPUs bound the CPU grant: the job never starts with
+	// fewer than MinCPUs (0 means 1) and never receives more than
+	// MaxCPUs (0 means the whole budget).
+	MinCPUs int
+	MaxCPUs int
+	// Phoenix runs the job on the fused Phoenix++ baseline engine
+	// instead of RAMR. The grant still bounds the worker count.
+	Phoenix bool
+}
+
+// JobHandle tracks one submitted job and carries its typed result.
+type JobHandle[K comparable, R any] struct {
+	job *sched.Job
+
+	mu  sync.Mutex
+	res *Result[K, R]
+}
+
+// Submit admits spec for execution under sc's budget. The engine config
+// is derived from cfg with the CPU grant overlaid at dispatch time:
+// worker counts follow the grant size and cfg.Ratio, pinning is laid out
+// over exactly the granted CPUs, and the elastic combiner pool (when
+// cfg.Tuner is set) treats the grant as a hard ceiling. Submit fails
+// fast with ErrSaturated when the admission queue is full.
+//
+// Submit is a free function because Go methods cannot introduce type
+// parameters.
+func Submit[S any, K comparable, V, R any](sc *Scheduler, spec *Spec[S, K, V, R], cfg Config, opts SubmitOptions) (*JobHandle[K, R], error) {
+	name := opts.Name
+	if name == "" {
+		name = spec.Name
+	}
+	h := &JobHandle[K, R]{}
+	c := cfg
+	c.Machine = sc.s.Machine()
+	job, err := sc.s.Submit(sched.JobSpec{
+		Name:     name,
+		Priority: opts.Priority,
+		MinCPUs:  opts.MinCPUs,
+		MaxCPUs:  opts.MaxCPUs,
+		Run: func(ctx context.Context, grant []int) error {
+			rc := c
+			rc.ApplyGrant(grant)
+			var (
+				res *Result[K, R]
+				err error
+			)
+			if opts.Phoenix {
+				res, err = phoenix.RunContext(ctx, spec, rc)
+			} else {
+				res, err = core.RunContext(ctx, spec, rc)
+			}
+			h.mu.Lock()
+			h.res = res
+			h.mu.Unlock()
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.job = job
+	return h, nil
+}
+
+// ID returns the scheduler-assigned job id.
+func (h *JobHandle[K, R]) ID() int { return h.job.ID() }
+
+// Wait blocks until the job finishes (or ctx expires) and returns its
+// typed result. A ctx expiry returns ctx.Err() without cancelling the
+// job; use Cancel for that.
+func (h *JobHandle[K, R]) Wait(ctx context.Context) (*Result[K, R], error) {
+	if err := h.job.Wait(ctx); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, nil
+}
+
+// Status snapshots the job's scheduler-side state, including its CPU
+// grant once running.
+func (h *JobHandle[K, R]) Status() JobStatus { return h.job.Status() }
+
+// Cancel stops the job: queued jobs never start, running jobs drain and
+// return a cancellation error.
+func (h *JobHandle[K, R]) Cancel() { h.job.Cancel() }

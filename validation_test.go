@@ -1,0 +1,82 @@
+package ramr_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ramr"
+	"ramr/internal/faultinject"
+)
+
+// assertNoWorkers fails the test if any engine worker goroutine is still
+// alive shortly after a run that should never have started one.
+func assertNoWorkers(t *testing.T) {
+	t.Helper()
+	if leaked := faultinject.AwaitNoWorkers(2 * time.Second); len(leaked) > 0 {
+		t.Fatalf("%d worker goroutines leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// Invalid configs must fail fast — the Validate error surfaces before
+// any worker goroutine spawns, on both engines.
+func TestInvalidConfigFailsFastRAMR(t *testing.T) {
+	cfg := ramr.DefaultConfig()
+	cfg.Mappers = -3
+	if _, err := ramr.Run(wcSpec(4), cfg); err == nil {
+		t.Fatal("Run accepted negative Mappers")
+	}
+	assertNoWorkers(t)
+}
+
+func TestInvalidConfigFailsFastPhoenix(t *testing.T) {
+	cfg := ramr.DefaultConfig()
+	cfg.QueueCapacity = -1
+	if _, err := ramr.RunPhoenix(wcSpec(4), cfg); err == nil {
+		t.Fatal("RunPhoenix accepted negative QueueCapacity")
+	}
+	assertNoWorkers(t)
+}
+
+func TestInvalidGrantFailsFast(t *testing.T) {
+	cfg := ramr.DefaultConfig()
+	cfg.CPUGrant = []int{0, 0}
+	if _, err := ramr.Run(wcSpec(4), cfg); err == nil {
+		t.Fatal("Run accepted duplicate CPUGrant ids")
+	}
+	cfg.CPUGrant = []int{-1}
+	if _, err := ramr.RunPhoenix(wcSpec(4), cfg); err == nil {
+		t.Fatal("RunPhoenix accepted negative CPUGrant id")
+	}
+	assertNoWorkers(t)
+}
+
+// A context that is already cancelled must return ctx.Err() without
+// starting the pipeline, on both engines.
+func TestPreCancelledContextRAMR(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ramr.RunContext(ctx, wcSpec(8), ramr.DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("got a result from a pre-cancelled run")
+	}
+	assertNoWorkers(t)
+}
+
+func TestPreCancelledContextPhoenix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ramr.RunPhoenixContext(ctx, wcSpec(8), ramr.DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("got a result from a pre-cancelled run")
+	}
+	assertNoWorkers(t)
+}
