@@ -187,6 +187,24 @@ func NewTelemetryServer(t *Telemetry, addr string) (*TelemetryServer, error) {
 // Result.QueueStats and its String/FailedPushRate/ShortPollRate helpers.
 type QueueStats = mr.QueueStats
 
+// StealPolicy selects the map-phase task steering (StealChunked,
+// StealOff); see Config.Steal.
+type StealPolicy = mr.StealPolicy
+
+// Steal policies, re-exported from the job model.
+const (
+	// StealChunked (the default) lets an idle mapper steal half the
+	// remaining task batch from the nearest non-empty locality group.
+	StealChunked = mr.StealChunked
+	// StealOff restricts mappers to their own group's tasks — the static
+	// steering baseline.
+	StealOff = mr.StealOff
+)
+
+// StealStats aggregates the map phase's work-stealing counters by distance
+// class; see Result.Steal and its StolenTasks/StealRate/Balanced helpers.
+type StealStats = mr.StealStats
+
 // TunerConfig enables the online adaptive tuner: assign one to
 // Config.Tuner and the RAMR engine runs an elastic combiner pool whose
 // size, consume batch and push backoff are steered each epoch by a

@@ -51,6 +51,7 @@ func main() {
 	ratio := flag.Int("ratio", 1, "mapper/combiner ratio (ramr engine)")
 	batch := flag.Int("batch", mr.DefaultBatchSize, "combiner batch size")
 	seed := flag.Int64("seed", 42, "input seed")
+	skew := flag.Float64("skew", 0, "zipf exponent shaping split sizes and keys (0 = uniform, else must be > 1)")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file (view at chrome://tracing)")
 	flag.Parse()
 
@@ -76,6 +77,9 @@ func main() {
 	if *batch < 1 {
 		fatalf("-batch must be >= 1, got %d", *batch)
 	}
+	if *skew != 0 && *skew <= 1 {
+		fatalf("-skew must be 0 (uniform) or > 1 (zipf exponent), got %g", *skew)
+	}
 	if *engine != "ramr" && *engine != "phoenix" {
 		fatalf("unknown engine %q (want ramr|phoenix)", *engine)
 	}
@@ -95,9 +99,17 @@ func main() {
 	params.Keys = *keys
 	params.MapKernel = mk
 	params.CombineKernel = ck
+	params.Skew = *skew
 	job := synth.NewJob(params, *seed)
 
-	cfg := mr.DefaultConfig()
+	// Start from the environment so RAMR_* knobs (RAMR_STEAL=off for the
+	// static-steering baseline, RAMR_PIN, RAMR_WAIT, ...) apply; the
+	// worker split below is derived from -ratio and overrides any
+	// RAMR_MAPPERS/RAMR_COMBINERS setting.
+	cfg, err := mr.FromEnv()
+	if err != nil {
+		fatalf("%v", err)
+	}
 	total := runtime.GOMAXPROCS(0)
 	c := total / (*ratio + 1)
 	if c < 1 {
@@ -132,6 +144,9 @@ func main() {
 	fmt.Printf("output keys: %d  digest: %#x\n", info.Pairs, info.Digest)
 	if eng == workloads.EngineRAMR {
 		fmt.Printf("queues: %s\n", info.Queue)
+		if info.Steal.TotalTasks() > 0 {
+			fmt.Printf("steals: %s\n", info.Steal.String())
+		}
 	}
 	if collector != nil {
 		f, err := os.Create(*traceOut)

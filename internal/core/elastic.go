@@ -293,6 +293,7 @@ type tunerDriver struct {
 	epochTicks int
 	ticks      int
 	occ        []float64 // sampled occupancies within the current epoch
+	imb        []float64 // per-tick imbalance ratios within the current epoch
 	caps       []float64 // per-queue capacity, indexed like Sample.Depths
 	prev       telemetry.Counters
 }
@@ -311,15 +312,19 @@ func (d *tunerDriver) observe(s telemetry.Sample) {
 			d.occ = append(d.occ, float64(depth)/d.caps[i])
 		}
 	}
+	if len(s.Depths) > 0 {
+		d.imb = append(d.imb, s.Imbalance)
+	}
 	d.ticks++
 	if d.ticks < d.epochTicks {
 		return
 	}
 	now := d.tel.CountersNow()
 	sig := tuner.Signals{
-		OccP90:        p90(d.occ),
-		CombinedPairs: now.Combined - d.prev.Combined,
-		Ticks:         d.ticks,
+		OccP90:         p90(d.occ),
+		QueueImbalance: p90(d.imb),
+		CombinedPairs:  now.Combined - d.prev.Combined,
+		Ticks:          d.ticks,
 	}
 	if dp := (now.Pushes - d.prev.Pushes) + (now.FailedPush - d.prev.FailedPush); dp > 0 {
 		sig.FailedPushRate = float64(now.FailedPush-d.prev.FailedPush) / float64(dp)
@@ -330,6 +335,7 @@ func (d *tunerDriver) observe(s telemetry.Sample) {
 	d.prev = now
 	d.ticks = 0
 	d.occ = d.occ[:0]
+	d.imb = d.imb[:0]
 	d.apply(d.ctrl.Advance(sig))
 }
 

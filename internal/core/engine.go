@@ -168,13 +168,24 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	plan := BuildPlanOn(machine, cfg.CPUGrant, mappers, maxCombiners, cfg.Pin)
 	res.Phases.Init = time.Since(t0)
 
-	// --- Partition: tasks into per-locality-group queues. ---
+	// --- Partition: tasks into per-locality-group deques. The mapper →
+	// group assignment is computed first because the deques are seeded
+	// proportionally to the mappers each group actually holds. ---
 	t0 = time.Now()
 	tasks := mr.Tasks(len(spec.Splits), cfg.TaskSize)
 	groups := machine.LocalityGroups()
-	tq := newTaskQueues(tasks, len(groups))
 	mapperGroup := mapperGroups(machine, plan, mappers, len(groups))
+	mappersIn := make([]int, len(groups))
+	for _, g := range mapperGroup {
+		mappersIn[g]++
+	}
+	tq := newTaskQueues(tasks, machine, mappersIn, cfg.Steal)
 	res.Phases.Partition = time.Since(t0)
+
+	// Per-mapper steal stats fold into the shared aggregate at worker
+	// exit (under stealMu), so the hot path only touches mapper-locals.
+	var stealMu sync.Mutex
+	var stealAgg mr.StealStats
 
 	// --- Map-combine: the decoupled, overlapped phase (Fig. 2). ---
 	// User code (Map, Combine) may panic; workers convert the first
@@ -218,6 +229,12 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 				// emits with single-element Push (the ablation baseline).
 				slab := make([]pair[K, V], 0, emitBatch)
 				failed := false
+				var st mr.StealStats
+				defer func() {
+					stealMu.Lock()
+					stealAgg.Add(st)
+					stealMu.Unlock()
+				}()
 				flush := func() {
 					if len(slab) > 0 {
 						q.PushBatch(slab)
@@ -288,31 +305,57 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 					}
 				}
 				tw.SetState(telemetry.StateWorking)
+			takeLoop:
 				for !abort.Load() && ctx.Err() == nil {
-					lo, hi, ok := tq.next(mapperGroup[i])
+					t0, t1, cls, ok := tq.take(mapperGroup[i])
 					if !ok {
 						break
 					}
-					if taskHook != nil {
-						taskHook(i)
+					st.AddClass(cls, uint64(t1-t0))
+					tw.AddSteal(int(cls), t1-t0)
+					stolen := cls != topology.StealLocal
+					var endSteal func()
+					if shard != nil && stolen {
+						endSteal = shard.Span("steal", map[string]any{
+							"tasks": t1 - t0, "class": cls.String(),
+						})
 					}
-					var end func()
-					if shard != nil {
-						end = shard.Span("task", map[string]any{"splits": hi - lo})
+					for t := t0; t < t1; t++ {
+						if abort.Load() || ctx.Err() != nil {
+							if endSteal != nil {
+								endSteal()
+							}
+							break takeLoop
+						}
+						lo, hi := tq.tasks[t][0], tq.tasks[t][1]
+						if taskHook != nil {
+							taskHook(i)
+						}
+						var end func()
+						if shard != nil {
+							end = shard.Span("task", map[string]any{"splits": hi - lo})
+						}
+						for s := lo; s < hi; s++ {
+							spec.Map(spec.Splits[s], emit)
+						}
+						flush()
+						if end != nil {
+							end()
+						}
+						if stolen {
+							st.RemoteExecuted++
+							tw.AddRemoteExecuted(1)
+						}
+						if tw != nil {
+							tw.AddTasks(1)
+							tw.AddEmitted(emitted)
+							emitted = 0
+							pu, fp, sl := q.ProducerStats()
+							tw.StoreProducer(pu, fp, sl)
+						}
 					}
-					for s := lo; s < hi; s++ {
-						spec.Map(spec.Splits[s], emit)
-					}
-					flush()
-					if end != nil {
-						end()
-					}
-					if tw != nil {
-						tw.AddTasks(1)
-						tw.AddEmitted(emitted)
-						emitted = 0
-						pu, fp, sl := q.ProducerStats()
-						tw.StoreProducer(pu, fp, sl)
+					if endSteal != nil {
+						endSteal()
 					}
 				}
 			})
@@ -470,6 +513,11 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	mapWG.Wait()
 	combWG.Wait()
 	res.Phases.MapCombine = time.Since(t0)
+	// Every mapper's fold happened-before mapWG.Wait returned, so the
+	// aggregate is stable here without further synchronization.
+	stealMu.Lock()
+	res.Steal = stealAgg
+	stealMu.Unlock()
 	if driver != nil {
 		// Fence the driver before reading its report (and before any
 		// error return): no controller step can be in flight after stop.
@@ -581,38 +629,165 @@ func mapperGroups(machine *topology.Machine, plan Plan, mappers, groups int) []i
 	return mg
 }
 
-// taskQueues holds one FIFO of tasks per locality group, with lock-free
-// dequeue and cross-group stealing when the local queue empties.
-type taskQueues struct {
-	perGroup [][]int // task indices per group
-	cursor   []atomic.Int64
-	tasks    [][2]int
+// groupDeque is one locality group's task store: a contiguous window
+// [head, tail) of task ids, seeded once and only ever shrunk. The owning
+// group's mappers take chunks from the head; thieves take halves from the
+// tail, so the two ends contend only when the window is nearly empty.
+type groupDeque struct {
+	mu         sync.Mutex
+	head, tail int
 }
 
-func newTaskQueues(tasks [][2]int, groups int) *taskQueues {
+// taskQueues implements the map phase's task steering: one chunked deque
+// per locality group plus the machine's precomputed distance-ranked victim
+// order. Mappers drain their own deque in guided-self-scheduling chunks
+// (amortizing the lock the way the old design amortized its atomic, but
+// over whole batches); when the local deque empties and stealing is on,
+// they steal half the remaining window from the nearest non-empty victim.
+// Stolen batches are executed privately by the thief and never
+// re-enqueued, which is what makes the conservation invariant exact:
+// tasks stolen == tasks executed remotely. Only input-split task ids ever
+// move between groups — SPSC queue ownership never does.
+type taskQueues struct {
+	deques    []groupDeque
+	victims   [][]int                 // probe order per thief group
+	class     [][]topology.StealClass // steal class per (thief, victim)
+	tasks     [][2]int
+	mappersIn []int // mappers drawing from each group, for chunk sizing
+	steal     bool
+}
+
+// newTaskQueues seeds one deque per locality group with a contiguous block
+// of tasks proportional to the mappers actually drawing from that group
+// (largest-remainder rounding), not round-robin: under an asymmetric CPU
+// grant a group holding one mapper gets one mapper's share of tasks, and a
+// group holding none gets nothing — so the StealOff baseline terminates
+// and the stealing path starts balanced instead of relying on steals to
+// undo a skewed seed.
+func newTaskQueues(tasks [][2]int, machine *topology.Machine, mappersIn []int, policy mr.StealPolicy) *taskQueues {
+	groups := len(mappersIn)
 	tq := &taskQueues{
-		perGroup: make([][]int, groups),
-		cursor:   make([]atomic.Int64, groups),
-		tasks:    tasks,
+		deques:    make([]groupDeque, groups),
+		victims:   machine.VictimOrder(),
+		class:     make([][]topology.StealClass, groups),
+		tasks:     tasks,
+		mappersIn: mappersIn,
+		steal:     policy != mr.StealOff,
 	}
-	for t := range tasks {
-		g := t % groups
-		tq.perGroup[g] = append(tq.perGroup[g], t)
+	for g := 0; g < groups; g++ {
+		tq.class[g] = make([]topology.StealClass, groups)
+		for v := 0; v < groups; v++ {
+			tq.class[g][v] = machine.GroupStealClass(g, v)
+		}
+	}
+	shares := seedShares(len(tasks), mappersIn)
+	off := 0
+	for g := range tq.deques {
+		tq.deques[g].head = off
+		off += shares[g]
+		tq.deques[g].tail = off
 	}
 	return tq
 }
 
-// next pops a task for a mapper in group g, stealing from the other groups
-// in order once the local queue is exhausted.
-func (tq *taskQueues) next(g int) (lo, hi int, ok bool) {
-	n := len(tq.perGroup)
-	for off := 0; off < n; off++ {
-		grp := (g + off) % n
-		i := int(tq.cursor[grp].Add(1)) - 1
-		if i < len(tq.perGroup[grp]) {
-			t := tq.perGroup[grp][i]
-			return tq.tasks[t][0], tq.tasks[t][1], true
-		}
+// seedShares splits total tasks across groups proportionally to weights
+// using largest-remainder rounding (ties to the lower group index), so the
+// shares always sum to total and a zero-weight group gets zero.
+func seedShares(total int, weights []int) []int {
+	shares := make([]int, len(weights))
+	sumW := 0
+	for _, w := range weights {
+		sumW += w
 	}
-	return 0, 0, false
+	if sumW == 0 {
+		// No mapper draws from any group (impossible for a validated
+		// config, which has >= 1 mapper); park everything in group 0.
+		if len(shares) > 0 {
+			shares[0] = total
+		}
+		return shares
+	}
+	assigned := 0
+	rems := make([]int, len(weights))
+	for g, w := range weights {
+		shares[g] = total * w / sumW
+		rems[g] = total * w % sumW
+		assigned += shares[g]
+	}
+	for assigned < total {
+		best := -1
+		for g := range rems {
+			if rems[g] > 0 && (best < 0 || rems[g] > rems[best]) {
+				best = g
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		shares[best]++
+		rems[best] = 0
+		assigned++
+	}
+	return shares
+}
+
+// chunkFor is the guided-self-scheduling chunk: half the remaining window
+// divided evenly over the group's mappers, never below 1. Early takes move
+// big batches (one lock acquisition for many tasks); the tail shrinks to
+// single tasks so the last chunks still balance.
+func chunkFor(rem, mappers int) int {
+	if mappers < 1 {
+		mappers = 1
+	}
+	n := rem / (2 * mappers)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// take returns the next batch of task ids [lo, hi) for a mapper in group
+// g, plus the steal class of the source deque. ok is false only at global
+// exhaustion (or local exhaustion under StealOff). Deques never refill, so
+// a single pass over the victim order is a sound termination check: a
+// deque observed empty stays empty.
+func (tq *taskQueues) take(g int) (lo, hi int, class topology.StealClass, ok bool) {
+	d := &tq.deques[g]
+	d.mu.Lock()
+	if rem := d.tail - d.head; rem > 0 {
+		n := chunkFor(rem, tq.mappersIn[g])
+		lo, hi = d.head, d.head+n
+		d.head += n
+		d.mu.Unlock()
+		return lo, hi, topology.StealLocal, true
+	}
+	d.mu.Unlock()
+	if !tq.steal {
+		return 0, 0, topology.StealLocal, false
+	}
+	for _, v := range tq.victims[g] {
+		dv := &tq.deques[v]
+		dv.mu.Lock()
+		if rem := dv.tail - dv.head; rem > 0 {
+			n := (rem + 1) / 2
+			lo, hi = dv.tail-n, dv.tail
+			dv.tail -= n
+			dv.mu.Unlock()
+			return lo, hi, tq.class[g][v], true
+		}
+		dv.mu.Unlock()
+	}
+	return 0, 0, topology.StealLocal, false
+}
+
+// remaining returns the live task count across all deques (tests only).
+func (tq *taskQueues) remaining() int {
+	n := 0
+	for g := range tq.deques {
+		d := &tq.deques[g]
+		d.mu.Lock()
+		n += d.tail - d.head
+		d.mu.Unlock()
+	}
+	return n
 }

@@ -209,42 +209,106 @@ func TestRatioDerivedCombiners(t *testing.T) {
 	}
 }
 
+// multiSocket builds a synthetic n-node machine (2 cores per node, no
+// SMT, per-node LLC) for deque steering tests.
+func multiSocket(n int) *topology.Machine {
+	return &topology.Machine{
+		Name:           "multi-socket",
+		Sockets:        n,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		Enum:           topology.EnumCompact,
+		Caches: []topology.CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: topology.ScopePerCore, LatencyCycles: 4},
+			{Level: 3, SizeBytes: 8 << 20, LineBytes: 64, Assoc: 16, Scope: topology.ScopePerSocket, LatencyCycles: 40},
+		},
+		MemLatencyCycles:         200,
+		CrossSocketPenaltyCycles: 100,
+	}
+}
+
 func TestTaskQueuesStealAcrossGroups(t *testing.T) {
 	tasks := mr.Tasks(10, 1)
-	tq := newTaskQueues(tasks, 3)
+	// One mapper per group seeds every group tasks, but only group 2's
+	// mapper runs: it must drain the whole set, stealing the other
+	// groups' shares, and classify those takes as remote.
+	tq := newTaskQueues(tasks, multiSocket(3), []int{1, 1, 1}, mr.StealChunked)
 	seen := map[int]bool{}
-	// A single "mapper" in group 2 must still drain every task.
+	stolen := 0
 	for {
-		lo, _, ok := tq.next(2)
+		lo, hi, cls, ok := tq.take(2)
 		if !ok {
 			break
 		}
-		if seen[lo] {
-			t.Fatalf("task %d dispensed twice", lo)
+		if cls != topology.StealLocal {
+			stolen += hi - lo
+			if cls != topology.StealRemote {
+				t.Fatalf("cross-socket steal classified %v, want remote", cls)
+			}
 		}
-		seen[lo] = true
+		for task := lo; task < hi; task++ {
+			if seen[task] {
+				t.Fatalf("task %d dispensed twice", task)
+			}
+			seen[task] = true
+		}
 	}
 	if len(seen) != 10 {
 		t.Fatalf("drained %d tasks, want 10", len(seen))
+	}
+	if stolen == 0 {
+		t.Fatal("lone mapper drained three seeded groups without a single steal")
+	}
+	if tq.remaining() != 0 {
+		t.Fatalf("%d tasks still queued after exhaustion", tq.remaining())
+	}
+}
+
+// TestTaskQueuesStealOffStaysLocal: under StealOff a mapper sees only its
+// own group's seed, and the other groups' mappers can still drain theirs.
+func TestTaskQueuesStealOffStaysLocal(t *testing.T) {
+	tasks := mr.Tasks(12, 1)
+	tq := newTaskQueues(tasks, multiSocket(3), []int{1, 1, 1}, mr.StealOff)
+	counts := make([]int, 3)
+	for g := 0; g < 3; g++ {
+		for {
+			lo, hi, cls, ok := tq.take(g)
+			if !ok {
+				break
+			}
+			if cls != topology.StealLocal {
+				t.Fatalf("StealOff produced a %v take", cls)
+			}
+			counts[g] += hi - lo
+		}
+	}
+	for g, n := range counts {
+		if n != 4 {
+			t.Fatalf("group %d drained %d tasks, want its seeded 4", g, n)
+		}
 	}
 }
 
 func TestTaskQueuesConcurrentExactlyOnce(t *testing.T) {
 	tasks := mr.Tasks(500, 1)
-	tq := newTaskQueues(tasks, 4)
+	machine := multiSocket(4)
+	// 8 workers, 2 per group, matching the mappersIn weights.
+	tq := newTaskQueues(tasks, machine, []int{2, 2, 2, 2}, mr.StealChunked)
 	var claimed [500]atomic.Int32
 	done := make(chan struct{})
 	for w := 0; w < 8; w++ {
 		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for {
-				lo, _, ok := tq.next(g % 4)
+				lo, hi, _, ok := tq.take(g)
 				if !ok {
 					return
 				}
-				claimed[lo].Add(1)
+				for task := lo; task < hi; task++ {
+					claimed[task].Add(1)
+				}
 			}
-		}(w)
+		}(w % 4)
 	}
 	for w := 0; w < 8; w++ {
 		<-done
@@ -253,6 +317,91 @@ func TestTaskQueuesConcurrentExactlyOnce(t *testing.T) {
 		if n := claimed[i].Load(); n != 1 {
 			t.Fatalf("task %d claimed %d times", i, n)
 		}
+	}
+	if tq.remaining() != 0 {
+		t.Fatalf("%d tasks left after global exhaustion", tq.remaining())
+	}
+}
+
+// TestSeedSharesProportional is the partitioning bugfix regression: shares
+// follow mapper weights (largest remainder), zero-weight groups get
+// nothing, and the shares always sum to the total.
+func TestSeedSharesProportional(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []int
+		want    []int
+	}{
+		{10, []int{1, 1}, []int{5, 5}},
+		{10, []int{3, 1}, []int{8, 2}}, // 7.5/2.5: equal fractions, tie to the lower group
+		{10, []int{1, 0}, []int{10, 0}},
+		{7, []int{1, 1, 1}, []int{3, 2, 2}},
+		{0, []int{2, 1}, []int{0, 0}},
+		{5, []int{0, 0}, []int{5, 0}}, // degenerate: park in group 0
+	}
+	for _, c := range cases {
+		got := seedShares(c.total, c.weights)
+		sum := 0
+		for g := range got {
+			sum += got[g]
+			if got[g] != c.want[g] {
+				t.Fatalf("seedShares(%d, %v) = %v, want %v", c.total, c.weights, got, c.want)
+			}
+		}
+		if sum != c.total {
+			t.Fatalf("seedShares(%d, %v) sums to %d", c.total, c.weights, sum)
+		}
+	}
+}
+
+// TestSeedSharesGrantFiltered seeds deques from a grant-filtered plan: a
+// CPU grant confined to socket 0 must put every mapper — and therefore
+// every task — in group 0, leaving group 1 empty so the StealOff baseline
+// cannot strand work in a mapper-less group.
+func TestSeedSharesGrantFiltered(t *testing.T) {
+	machine := topology.Fig3Example()
+	grant := []int{0, 1, 2, 3} // socket 0 cores only
+	mappers := 3
+	plan := BuildPlanOn(machine, grant, mappers, 1, mr.PinRAMR)
+	groups := machine.LocalityGroups()
+	mg := mapperGroups(machine, plan, mappers, len(groups))
+	mappersIn := make([]int, len(groups))
+	for _, g := range mg {
+		mappersIn[g]++
+	}
+	if mappersIn[0] != mappers || mappersIn[1] != 0 {
+		t.Fatalf("grant-filtered mappers per group = %v, want [%d 0]", mappersIn, mappers)
+	}
+	tasks := mr.Tasks(40, 1)
+	tq := newTaskQueues(tasks, machine, mappersIn, mr.StealOff)
+	if got := tq.deques[0].tail - tq.deques[0].head; got != 40 {
+		t.Fatalf("group 0 seeded %d tasks, want all 40", got)
+	}
+	if got := tq.deques[1].tail - tq.deques[1].head; got != 0 {
+		t.Fatalf("mapper-less group 1 seeded %d tasks, want 0", got)
+	}
+}
+
+// TestTaskQueuesVictimOrderPreferred: on a 4-node ring with uniform
+// cross-node cost, a thief in group 1 must steal from group 2 first (ring
+// order), not group 0.
+func TestTaskQueuesVictimOrderPreferred(t *testing.T) {
+	tasks := mr.Tasks(40, 1)
+	tq := newTaskQueues(tasks, multiSocket(4), []int{1, 1, 1, 1}, mr.StealChunked)
+	// Group 1's own seed is [10, 20); once it drains, the first steal
+	// must come from group 2's seed [20, 30) — the ring-order victim.
+	for {
+		lo, hi, cls, ok := tq.take(1)
+		if !ok {
+			t.Fatal("queues exhausted before any steal")
+		}
+		if cls == topology.StealLocal {
+			continue
+		}
+		if lo < 20 || hi > 30 {
+			t.Fatalf("first steal took [%d,%d), want within group 2's seed [20,30)", lo, hi)
+		}
+		break
 	}
 }
 

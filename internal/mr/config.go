@@ -90,6 +90,10 @@ type Config struct {
 	Wait spsc.WaitPolicy
 	// Pin selects the thread placement policy.
 	Pin PinPolicy
+	// Steal selects the map-phase task steering policy (RAMR only). The
+	// zero value StealChunked enables distance-ordered chunked work
+	// stealing; StealOff is the static strictly-local baseline.
+	Steal StealPolicy
 	// Machine describes the topology used for pinning decisions. When
 	// nil, the host is detected at run time.
 	Machine *topology.Machine
@@ -179,6 +183,7 @@ const (
 	EnvEmitBatch = "RAMR_EMIT_BATCH"
 	EnvPin       = "RAMR_PIN"
 	EnvWait      = "RAMR_WAIT"
+	EnvSteal     = "RAMR_STEAL"
 )
 
 // FromEnv returns DefaultConfig overridden by any RAMR_* environment
@@ -214,6 +219,13 @@ func FromEnv() (Config, error) {
 			return Config{}, err
 		}
 		c.Pin = p
+	}
+	if s, ok := os.LookupEnv(EnvSteal); ok {
+		p, err := ParseStealPolicy(s)
+		if err != nil {
+			return Config{}, err
+		}
+		c.Steal = p
 	}
 	if s, ok := os.LookupEnv(EnvWait); ok {
 		switch s {
@@ -265,6 +277,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mr: BatchSize must be >= 1, got %d", c.BatchSize)
 	case c.EmitBatch < 0:
 		return fmt.Errorf("mr: EmitBatch must be >= 0 (0 selects the default), got %d", c.EmitBatch)
+	case c.Steal != StealChunked && c.Steal != StealOff:
+		return fmt.Errorf("mr: unknown Steal policy %d", int(c.Steal))
 	}
 	seen := make(map[int]bool, len(c.CPUGrant))
 	for _, cpu := range c.CPUGrant {

@@ -138,6 +138,10 @@ type Result[K comparable, R any] struct {
 	Phases PhaseTimes
 	// QueueStats aggregates SPSC queue counters (RAMR engine only).
 	QueueStats QueueStats
+	// Steal aggregates map-phase work-stealing counters by distance
+	// class (RAMR engine only; zero when Config.Steal is StealOff and no
+	// local takes happened, which never occurs in a completed run).
+	Steal StealStats
 	// Telemetry is the structured run report (occupancy time-series,
 	// counter totals, throughput) when Config.Telemetry was set; nil
 	// otherwise.

@@ -148,6 +148,13 @@ type JobSpec struct {
 	MaxCPUs int
 	// Run executes the job. Required.
 	Run RunFunc
+	// Metrics, when non-nil, is invoked once after Run returns to
+	// collect the job's final operation-level metrics (steal counts,
+	// queue imbalance, ...). The map rides on the EventFinished observer
+	// event and in JobStatus, so telemetry taps see per-job balance
+	// figures without reaching into the workload layer. The callback
+	// runs outside the scheduler lock; a panic inside it is swallowed.
+	Metrics func() map[string]float64
 }
 
 // EventKind tags an Event.
@@ -180,6 +187,10 @@ type Event struct {
 	InUse int
 	// Queued is the admission-queue depth after this transition.
 	Queued int
+	// Metrics is the job's final metric map (EventFinished only, and
+	// only when the JobSpec provided a Metrics callback); shared, do not
+	// mutate.
+	Metrics map[string]float64
 }
 
 // Config parameterizes a Scheduler.
@@ -214,11 +225,12 @@ type Job struct {
 	name string
 	prio Priority
 
-	s      *Scheduler
-	run    RunFunc
-	runCtx context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	s         *Scheduler
+	run       RunFunc
+	metricsFn func() map[string]float64
+	runCtx    context.Context
+	cancel    context.CancelFunc
+	done      chan struct{}
 
 	minCPUs, maxCPUs int
 
@@ -236,6 +248,7 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	err      error
+	metrics  map[string]float64
 }
 
 // JobStatus is a point-in-time snapshot of a job.
@@ -251,6 +264,9 @@ type JobStatus struct {
 	Finished time.Time
 	// Err is the job's terminal error, nil while live or on success.
 	Err error
+	// Metrics is the job's final metric map (copy); nil until finished
+	// or when the JobSpec had no Metrics callback.
+	Metrics map[string]float64
 }
 
 // Stats summarizes scheduler occupancy.
@@ -388,6 +404,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	j.runCtx = ctx
 	j.run = spec.Run
+	j.metricsFn = spec.Metrics
 	j.minCPUs = minCPUs
 	j.maxCPUs = maxCPUs
 	s.accepted++
@@ -622,8 +639,21 @@ func (s *Scheduler) startLocked(j *Job) {
 	go func() {
 		defer s.wg.Done()
 		err := runSafe(j.runCtx, grant, j.run)
+		// Collect final metrics outside the scheduler lock; the write
+		// happens-before finish's lock acquisition, so readers under mu
+		// see it.
+		if j.metricsFn != nil {
+			j.metrics = metricsSafe(j.metricsFn)
+		}
 		s.finish(j, err)
 	}()
+}
+
+// metricsSafe invokes the metrics callback, swallowing a panic — a bad
+// metrics tap must not turn a finished job into a failed one.
+func metricsSafe(fn func() map[string]float64) (m map[string]float64) {
+	defer func() { recover() }()
+	return fn()
 }
 
 // runSafe invokes run, converting a panic into an error so one bad job
@@ -653,7 +683,7 @@ func (s *Scheduler) finish(j *Job, err error) {
 	s.finished++
 	j.cancel()
 	close(j.done)
-	s.emit(Event{Kind: EventFinished, JobID: j.id, Name: j.name, Grant: j.grant, InUse: s.inUseLocked(), Queued: s.queuedLocked()})
+	s.emit(Event{Kind: EventFinished, JobID: j.id, Name: j.name, Grant: j.grant, InUse: s.inUseLocked(), Queued: s.queuedLocked(), Metrics: j.metrics})
 	s.dispatchLocked()
 }
 
@@ -774,5 +804,17 @@ func (j *Job) Status() JobStatus {
 		Started:  j.started,
 		Finished: j.finished,
 		Err:      j.err,
+		Metrics:  copyMetrics(j.metrics),
 	}
+}
+
+func copyMetrics(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }

@@ -477,3 +477,70 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 		t.Fatalf("straggler err = %v, want Canceled", err)
 	}
 }
+
+// TestJobMetrics: a JobSpec.Metrics callback's map rides on the
+// EventFinished observer event and in JobStatus; a panicking callback is
+// swallowed without failing the job.
+func TestJobMetrics(t *testing.T) {
+	var mu sync.Mutex
+	var finished map[string]float64
+	sc, err := New(Config{
+		Machine: testMachine(),
+		Observer: func(e Event) {
+			if e.Kind == EventFinished {
+				mu.Lock()
+				finished = e.Metrics
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sc.Submit(JobSpec{
+		Name:     "metered",
+		Priority: PriorityNormal,
+		Run:      func(ctx context.Context, grant []int) error { return nil },
+		Metrics: func() map[string]float64 {
+			return map[string]float64{"steal_remote_tasks": 7, "queue_imbalance_p90": 2.5}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := finished
+	mu.Unlock()
+	if got["steal_remote_tasks"] != 7 || got["queue_imbalance_p90"] != 2.5 {
+		t.Fatalf("EventFinished metrics = %v", got)
+	}
+	st := j.Status()
+	if st.Metrics["steal_remote_tasks"] != 7 {
+		t.Fatalf("JobStatus metrics = %v", st.Metrics)
+	}
+	// The status copy must be detached from the job's map.
+	st.Metrics["steal_remote_tasks"] = 0
+	if j.Status().Metrics["steal_remote_tasks"] != 7 {
+		t.Fatal("JobStatus shares the job's metric map")
+	}
+
+	jp, err := sc.Submit(JobSpec{
+		Name: "panicky-metrics",
+		Run:  func(ctx context.Context, grant []int) error { return nil },
+		Metrics: func() map[string]float64 {
+			panic("metrics tap broke")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jp.Wait(context.Background()); err != nil {
+		t.Fatalf("panicking metrics callback failed the job: %v", err)
+	}
+	if st := jp.Status(); st.State != StateDone || st.Metrics != nil {
+		t.Fatalf("panicky metrics job: %+v", st)
+	}
+}

@@ -60,6 +60,7 @@ type ConfigOverlay struct {
 	BatchSize     int    `json:"batch_size,omitempty"`
 	EmitBatch     int    `json:"emit_batch,omitempty"`
 	Pin           string `json:"pin,omitempty"`
+	Steal         string `json:"steal,omitempty"`
 }
 
 // SynthParams parameterizes the synthetic workload (§III-C): kernel
@@ -71,6 +72,9 @@ type SynthParams struct {
 	MapIntensity     int    `json:"map_intensity,omitempty"`
 	CombineKind      string `json:"combine_kind,omitempty"`
 	CombineIntensity int    `json:"combine_intensity,omitempty"`
+	// Skew, when > 1, is the zipf exponent shaping split sizes and the
+	// key distribution (0 = uniform). Values in (0, 1] are rejected.
+	Skew float64 `json:"skew,omitempty"`
 }
 
 func parseContainer(s string) (container.Kind, error) {
@@ -174,6 +178,12 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 				p.CombineKernel.Intensity = sp.CombineIntensity
 			}
 		}
+		if sp.Skew != 0 {
+			if sp.Skew <= 1 {
+				return nil, cfg, fmt.Errorf("synth.skew must be 0 (uniform) or > 1 (zipf exponent), got %g", sp.Skew)
+			}
+			p.Skew = sp.Skew
+		}
 		job = synth.NewJob(p, req.Seed)
 	default:
 		platform, err := parsePlatform(req.Platform)
@@ -223,6 +233,13 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 			return nil, cfg, err
 		}
 		cfg.Pin = pin
+	}
+	if ov.Steal != "" {
+		st, err := mr.ParseStealPolicy(ov.Steal)
+		if err != nil {
+			return nil, cfg, err
+		}
+		cfg.Steal = st
 	}
 	if req.Tuner {
 		cfg.Tuner = &tuner.Config{Seed: req.Seed}

@@ -61,6 +61,31 @@ type entry struct {
 	info *workloads.RunInfo
 }
 
+// finalMetrics flattens the retained RunInfo into the scheduler's metric
+// map: work-stealing counters by distance class and the sampled queue
+// imbalance. It is the JobSpec.Metrics callback, invoked once when the
+// job finishes, and feeds EventFinished observers and JobStatus.
+func (e *entry) finalMetrics() map[string]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info := e.info
+	if info == nil {
+		return nil
+	}
+	m := map[string]float64{
+		"steal_local_tasks":     float64(info.Steal.LocalTasks),
+		"steal_socket_tasks":    float64(info.Steal.SocketTasks),
+		"steal_remote_tasks":    float64(info.Steal.RemoteTasks),
+		"steal_remote_executed": float64(info.Steal.RemoteExecuted),
+		"steal_rate":            info.Steal.StealRate(),
+	}
+	if rep := info.Telemetry; rep != nil {
+		m["queue_imbalance_p90"] = rep.Imbalance.P90
+		m["queue_imbalance_max"] = rep.Imbalance.Max
+	}
+	return m
+}
+
 // New builds a Service.
 func New(cfg Config) (*Service, error) {
 	m := cfg.Machine
@@ -131,6 +156,7 @@ func (s *Service) Submit(req *JobRequest) (*entryStatus, error) {
 			e.mu.Unlock()
 			return err
 		},
+		Metrics: e.finalMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -177,7 +203,12 @@ type entryStatus struct {
 	WallMS float64        `json:"wall_ms,omitempty"`
 	Phases *mr.PhaseTimes `json:"phases,omitempty"`
 	Queue  *mr.QueueStats `json:"queue,omitempty"`
+	Steal  *mr.StealStats `json:"steal,omitempty"`
 	Pairs  int            `json:"pairs,omitempty"`
+	// ImbalanceP90 is the run's sampled queue occupancy-imbalance ratio
+	// (p90 of max/mean depth per tick); 0 until the job finished with
+	// telemetry.
+	ImbalanceP90 float64 `json:"imbalance_p90,omitempty"`
 }
 
 // resultDoc is the full result document for GET /jobs/{id}/result.
@@ -223,7 +254,12 @@ func (s *Service) statusLocked(e *entry) entryStatus {
 		st.WallMS = float64(info.Wall) / float64(time.Millisecond)
 		ph, q := info.Phases, info.Queue
 		st.Phases, st.Queue = &ph, &q
+		steal := info.Steal
+		st.Steal = &steal
 		st.Pairs = info.Pairs
+		if rep := info.Telemetry; rep != nil {
+			st.ImbalanceP90 = rep.Imbalance.P90
+		}
 	}
 	e.mu.Unlock()
 	return st
@@ -371,7 +407,37 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// jobStats is one job's balance figures in the /stats document.
+type jobStats struct {
+	ID           int            `json:"id"`
+	Workload     string         `json:"workload"`
+	State        string         `json:"state"`
+	Steal        *mr.StealStats `json:"steal,omitempty"`
+	ImbalanceP90 float64        `json:"imbalance_p90,omitempty"`
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sch.Stats()
-	writeJSON(w, http.StatusOK, st)
+	s.mu.Lock()
+	jobs := make([]jobStats, 0, len(s.entries))
+	for _, e := range s.entries {
+		js := jobStats{ID: e.id, Workload: e.workload, State: e.job.Status().State.String()}
+		e.mu.Lock()
+		if info := e.info; info != nil {
+			steal := info.Steal
+			js.Steal = &steal
+			if rep := info.Telemetry; rep != nil {
+				js.ImbalanceP90 = rep.Imbalance.P90
+			}
+		}
+		e.mu.Unlock()
+		jobs = append(jobs, js)
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && jobs[j-1].ID > jobs[j].ID; j-- {
+			jobs[j-1], jobs[j] = jobs[j], jobs[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scheduler": st, "jobs": jobs})
 }

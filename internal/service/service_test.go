@@ -325,3 +325,81 @@ func TestListJobs(t *testing.T) {
 		waitDone(t, ts, int(jobs[i].(map[string]any)["id"].(float64)))
 	}
 }
+
+// TestStatsExposesJobBalance: /stats carries the scheduler occupancy
+// document plus a per-job section with work-stealing counters (and the
+// imbalance ratio when telemetry sampled any) once a job finished.
+func TestStatsExposesJobBalance(t *testing.T) {
+	_, ts, _ := newTestService(t, 0)
+	code, doc := postJob(t, ts, `{"workload":"WC","config":{"pin":"none"}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST: HTTP %d", code)
+	}
+	id := int(doc["id"].(float64))
+	waitDone(t, ts, id)
+
+	code, stats := getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats: HTTP %d", code)
+	}
+	schedDoc, ok := stats["scheduler"].(map[string]any)
+	if !ok || schedDoc["Budget"] == nil {
+		t.Fatalf("/stats missing scheduler document: %v", stats)
+	}
+	jobs, ok := stats["jobs"].([]any)
+	if !ok || len(jobs) != 1 {
+		t.Fatalf("/stats jobs = %v, want one entry", stats["jobs"])
+	}
+	j := jobs[0].(map[string]any)
+	if int(j["id"].(float64)) != id || j["state"] != "done" {
+		t.Fatalf("/stats job entry: %v", j)
+	}
+	if _, ok := j["steal"].(map[string]any); !ok {
+		t.Fatalf("/stats job entry missing steal counters: %v", j)
+	}
+
+	// The finished job's status document carries the same counters.
+	_, st := getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+	if _, ok := st["steal"].(map[string]any); !ok {
+		t.Fatalf("job status missing steal counters: %v", st)
+	}
+}
+
+// TestSkewAndStealOverlay: the API accepts a zipf skew for SYNTH inputs
+// and a steal-policy overlay; a skewed job under "steal":"off" must
+// finish with zero stolen tasks, and malformed values are rejected at
+// submit.
+func TestSkewAndStealOverlay(t *testing.T) {
+	_, ts, _ := newTestService(t, 0)
+
+	for _, bad := range []string{
+		`{"workload":"SYNTH","synth":{"skew":0.5},"config":{"pin":"none"}}`,
+		`{"workload":"SYNTH","config":{"pin":"none","steal":"sometimes"}}`,
+	} {
+		if code, _ := postJob(t, ts, bad); code != http.StatusBadRequest {
+			t.Fatalf("POST %s: HTTP %d, want 400", bad, code)
+		}
+	}
+
+	code, doc := postJob(t, ts,
+		`{"workload":"SYNTH","config":{"pin":"none","steal":"off"},"synth":{"elements":20000,"skew":1.5}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST: HTTP %d (%v)", code, doc)
+	}
+	id := int(doc["id"].(float64))
+	waitDone(t, ts, id)
+
+	_, st := getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+	steal, ok := st["steal"].(map[string]any)
+	if !ok {
+		t.Fatalf("job status missing steal counters: %v", st)
+	}
+	for _, k := range []string{"socket_tasks", "remote_tasks", "remote_executed"} {
+		if v := steal[k].(float64); v != 0 {
+			t.Fatalf("steal-off job has %s = %v: %v", k, v, steal)
+		}
+	}
+	if steal["local_tasks"].(float64) == 0 {
+		t.Fatalf("steal-off job recorded no local takes: %v", steal)
+	}
+}

@@ -127,3 +127,76 @@ func TestKindString(t *testing.T) {
 		t.Fatal("kind names")
 	}
 }
+
+// TestSkewedSplits: Zipf split sizes cover the input exactly, respect
+// the 8x cap, and place the heavy splits at the front of the element
+// range (the contiguous span seeded to locality group 0).
+func TestSkewedSplits(t *testing.T) {
+	p := smallParams()
+	p.SplitElements = 64
+	p.Skew = 1.3
+	splits := skewedSplits(p, 9)
+	covered := 0
+	prevSize := 1 << 30
+	maxSize := 0
+	for i, s := range splits {
+		if s[0] != covered || s[1] <= s[0] {
+			t.Fatalf("split %d = %v does not continue coverage at %d", i, s, covered)
+		}
+		sz := s[1] - s[0]
+		if sz > prevSize {
+			t.Fatalf("split %d size %d exceeds predecessor %d: heavy splits not front-clustered", i, sz, prevSize)
+		}
+		if sz > 8*p.SplitElements {
+			t.Fatalf("split %d size %d exceeds the 8x cap %d", i, sz, 8*p.SplitElements)
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+		prevSize = sz
+		covered = s[1]
+	}
+	if covered != p.Elements {
+		t.Fatalf("splits cover %d elements, want %d", covered, p.Elements)
+	}
+	if maxSize <= p.SplitElements {
+		t.Fatalf("max split size %d shows no skew over the %d base", maxSize, p.SplitElements)
+	}
+}
+
+// TestSkewedEnginesAgree: skew only reshapes splits and keys; the
+// algebra stays exact, so both engines must still agree, and the key
+// histogram must actually be skewed (hot key far above the mean).
+func TestSkewedEnginesAgree(t *testing.T) {
+	p := smallParams()
+	p.Skew = 1.5
+	// Wider than the element count would fill uniformly (e % keys covers
+	// the whole range when Elements >= Keys); zipf draws leave tail keys
+	// untouched, which the Pairs assertion below detects.
+	p.Keys = 4096
+	job := NewJob(p, 7)
+	ra, err := job.Run(workloads.EngineRAMR, cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := job.Run(workloads.EnginePhoenix, cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Digest != ph.Digest || ra.Pairs != ph.Pairs {
+		t.Fatalf("skewed engines disagree (%x/%d vs %x/%d)", ra.Digest, ra.Pairs, ph.Digest, ph.Pairs)
+	}
+	// Zipf keys concentrate on a prefix of the range, so the output key
+	// count drops well below the full width the uniform input fills.
+	if ra.Pairs >= p.Keys {
+		t.Fatalf("skewed run filled all %d keys; zipf keying not applied", p.Keys)
+	}
+
+	uniform, err := NewJob(smallParams(), 7).Run(workloads.EngineRAMR, cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Digest == ra.Digest {
+		t.Fatal("skew has no effect on the result")
+	}
+}

@@ -16,12 +16,13 @@ import (
 // into every sample's label set, or "" for the historical single-run
 // exposition.
 type promSnap struct {
-	labels  string
-	engine  string
-	workers []*Worker
-	queues  []registeredQueue
-	elapsed time.Duration
-	samples int
+	labels    string
+	engine    string
+	workers   []*Worker
+	queues    []registeredQueue
+	elapsed   time.Duration
+	samples   int
+	imbalance float64
 }
 
 // snap captures the export state of the current run.
@@ -29,10 +30,11 @@ func (t *Telemetry) snap(labels string) promSnap {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := promSnap{
-		labels:  labels,
-		engine:  t.engine,
-		workers: append([]*Worker(nil), t.workers...),
-		queues:  append([]registeredQueue(nil), t.queues...),
+		labels:    labels,
+		engine:    t.engine,
+		workers:   append([]*Worker(nil), t.workers...),
+		queues:    append([]registeredQueue(nil), t.queues...),
+		imbalance: t.lastImbalance,
 	}
 	if !t.start.IsZero() {
 		s.elapsed = time.Since(t.start)
@@ -76,6 +78,26 @@ func writePromSnaps(w io.Writer, snaps []promSnap) error {
 		func(w *Worker) uint64 { return w.failedPush.Load() })
 	counter("ramr_worker_sleep_microseconds_total", "Microseconds slept on a full ring.",
 		func(w *Worker) uint64 { return w.sleepMicros.Load() })
+	counter("ramr_worker_remote_executed_total", "Stolen map tasks completed by this worker.",
+		func(w *Worker) uint64 { return w.remoteExecuted.Load() })
+
+	// Steal counters carry an extra class label (local/socket/remote), so
+	// they get their own emitter instead of the fixed-label helper above.
+	stealCounter := func(name, help string, value func(*Worker, int) uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range snaps {
+			for _, wk := range s.workers {
+				for cls, label := range StealClassNames {
+					fmt.Fprintf(bw, "%s{%sengine=%q,role=%q,worker=\"%d\",class=%q} %d\n",
+						name, s.labels, wk.engine, wk.role, wk.id, label, value(wk, cls))
+				}
+			}
+		}
+	}
+	stealCounter("ramr_worker_steal_batches_total", "Task-deque takes by steal distance class.",
+		func(w *Worker, c int) uint64 { return w.stealBatches[c].Load() })
+	stealCounter("ramr_worker_steal_tasks_total", "Map tasks taken by steal distance class.",
+		func(w *Worker, c int) uint64 { return w.stealTasks[c].Load() })
 
 	fmt.Fprintf(bw, "# HELP ramr_worker_state Worker activity state (0=idle 1=working 2=draining 3=done).\n# TYPE ramr_worker_state gauge\n")
 	for _, s := range snaps {
@@ -114,6 +136,8 @@ func writePromSnaps(w io.Writer, snaps []promSnap) error {
 		func(s promSnap) string { return fmt.Sprintf("%g", s.elapsed.Seconds()) })
 	gauge("ramr_samples_total", "Samples retained in the occupancy time-series.",
 		func(s promSnap) string { return fmt.Sprintf("%d", s.samples) })
+	gauge("ramr_queue_imbalance", "Latest sampled occupancy-imbalance ratio (max/mean queue depth).",
+		func(s promSnap) string { return fmt.Sprintf("%g", s.imbalance) })
 	return bw.Flush()
 }
 

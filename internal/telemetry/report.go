@@ -19,48 +19,63 @@ type QueueReport struct {
 // WorkerReport is one worker's counter totals plus its sampled busy
 // fraction (share of samples observed in StateWorking or StateDraining).
 type WorkerReport struct {
-	Engine      string  `json:"engine"`
-	Role        string  `json:"role"`
-	ID          int     `json:"id"`
-	Emitted     uint64  `json:"pairs_emitted"`
-	Combined    uint64  `json:"pairs_combined"`
-	Tasks       uint64  `json:"tasks"`
-	Batches     uint64  `json:"batches"`
-	FailedPush  uint64  `json:"failed_pushes"`
-	SleepMicros uint64  `json:"sleep_micros"`
-	Busy        float64 `json:"busy"`
-}
-
-// Totals sums the worker counters across the run.
-type Totals struct {
+	Engine      string `json:"engine"`
+	Role        string `json:"role"`
+	ID          int    `json:"id"`
 	Emitted     uint64 `json:"pairs_emitted"`
 	Combined    uint64 `json:"pairs_combined"`
 	Tasks       uint64 `json:"tasks"`
 	Batches     uint64 `json:"batches"`
 	FailedPush  uint64 `json:"failed_pushes"`
 	SleepMicros uint64 `json:"sleep_micros"`
+	// Steal counters (mapper role only): takes from the worker's own
+	// group, tasks stolen from cache-sharing and cross-interconnect
+	// groups, and stolen tasks this worker completed.
+	LocalTakes     uint64  `json:"steal_local_tasks,omitempty"`
+	SocketSteals   uint64  `json:"steal_socket_tasks,omitempty"`
+	RemoteSteals   uint64  `json:"steal_remote_tasks,omitempty"`
+	RemoteExecuted uint64  `json:"remote_executed,omitempty"`
+	Busy           float64 `json:"busy"`
+}
+
+// Totals sums the worker counters across the run.
+type Totals struct {
+	Emitted        uint64 `json:"pairs_emitted"`
+	Combined       uint64 `json:"pairs_combined"`
+	Tasks          uint64 `json:"tasks"`
+	Batches        uint64 `json:"batches"`
+	FailedPush     uint64 `json:"failed_pushes"`
+	SleepMicros    uint64 `json:"sleep_micros"`
+	LocalTakes     uint64 `json:"steal_local_tasks"`
+	SocketSteals   uint64 `json:"steal_socket_tasks"`
+	RemoteSteals   uint64 `json:"steal_remote_tasks"`
+	RemoteExecuted uint64 `json:"remote_executed"`
 }
 
 // SamplePoint is one time-series entry in the JSON report. Depths index
 // Report.Queues, States index Report.Workers.
 type SamplePoint struct {
-	TMicros int64   `json:"t_us"`
-	Depths  []int   `json:"depths,omitempty"`
-	States  []uint8 `json:"states,omitempty"`
+	TMicros   int64   `json:"t_us"`
+	Depths    []int   `json:"depths,omitempty"`
+	States    []uint8 `json:"states,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
 }
 
 // Report is the structured result of one instrumented run: counter totals,
 // occupancy percentiles per queue, per-phase throughput, and the sampled
 // time-series itself.
 type Report struct {
-	Engine         string             `json:"engine"`
-	DurationMicros int64              `json:"duration_us"`
-	IntervalMicros int64              `json:"sample_interval_us"`
-	SampleCount    int                `json:"sample_count"`
-	Queues         []QueueReport      `json:"queues"`
-	Workers        []WorkerReport     `json:"workers"`
-	Totals         Totals             `json:"totals"`
-	PhaseSeconds   map[string]float64 `json:"phase_seconds,omitempty"`
+	Engine         string         `json:"engine"`
+	DurationMicros int64          `json:"duration_us"`
+	IntervalMicros int64          `json:"sample_interval_us"`
+	SampleCount    int            `json:"sample_count"`
+	Queues         []QueueReport  `json:"queues"`
+	Workers        []WorkerReport `json:"workers"`
+	Totals         Totals         `json:"totals"`
+	// Imbalance summarizes the per-tick queue occupancy-imbalance ratio
+	// (max/mean depth) over the run; 1.0 means uniformly loaded queues.
+	Imbalance    Percentiles        `json:"imbalance"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 	// Throughput is pairs per second per phase: "map" is emitted pairs
 	// over the map-combine phase, "combine" is combined pairs over it.
 	Throughput map[string]float64 `json:"throughput_pairs_per_sec,omitempty"`
@@ -115,15 +130,19 @@ func (t *Telemetry) buildReportLocked(phases map[string]float64) *Report {
 			}
 		}
 		wr := WorkerReport{
-			Engine:      w.engine,
-			Role:        w.role,
-			ID:          w.id,
-			Emitted:     w.emitted.Load(),
-			Combined:    w.combined.Load(),
-			Tasks:       w.tasks.Load(),
-			Batches:     w.batches.Load(),
-			FailedPush:  w.failedPush.Load(),
-			SleepMicros: w.sleepMicros.Load(),
+			Engine:         w.engine,
+			Role:           w.role,
+			ID:             w.id,
+			Emitted:        w.emitted.Load(),
+			Combined:       w.combined.Load(),
+			Tasks:          w.tasks.Load(),
+			Batches:        w.batches.Load(),
+			FailedPush:     w.failedPush.Load(),
+			SleepMicros:    w.sleepMicros.Load(),
+			LocalTakes:     w.stealTasks[0].Load(),
+			SocketSteals:   w.stealTasks[1].Load(),
+			RemoteSteals:   w.stealTasks[2].Load(),
+			RemoteExecuted: w.remoteExecuted.Load(),
 		}
 		if total > 0 {
 			wr.Busy = float64(busySamples) / float64(total)
@@ -135,7 +154,19 @@ func (t *Telemetry) buildReportLocked(phases map[string]float64) *Report {
 		rep.Totals.Batches += wr.Batches
 		rep.Totals.FailedPush += wr.FailedPush
 		rep.Totals.SleepMicros += wr.SleepMicros
+		rep.Totals.LocalTakes += wr.LocalTakes
+		rep.Totals.SocketSteals += wr.SocketSteals
+		rep.Totals.RemoteSteals += wr.RemoteSteals
+		rep.Totals.RemoteExecuted += wr.RemoteExecuted
 	}
+
+	imb := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if len(s.Depths) > 0 {
+			imb = append(imb, s.Imbalance)
+		}
+	}
+	rep.Imbalance = percentiles(imb)
 
 	if mc := phases["map-combine"]; mc > 0 {
 		rep.Throughput = map[string]float64{
@@ -145,7 +176,7 @@ func (t *Telemetry) buildReportLocked(phases map[string]float64) *Report {
 	}
 
 	for _, s := range samples {
-		pt := SamplePoint{TMicros: s.T.Microseconds(), Depths: s.Depths}
+		pt := SamplePoint{TMicros: s.T.Microseconds(), Depths: s.Depths, Imbalance: s.Imbalance}
 		if len(s.States) > 0 {
 			pt.States = make([]uint8, len(s.States))
 			for i, st := range s.States {
@@ -177,6 +208,11 @@ func (r *Report) Summary(w io.Writer) error {
 	fmt.Fprintf(w, "pairs: %d emitted, %d combined; %d tasks, %d batches, %d failed pushes, %dus slept\n",
 		r.Totals.Emitted, r.Totals.Combined, r.Totals.Tasks, r.Totals.Batches,
 		r.Totals.FailedPush, r.Totals.SleepMicros)
+	if stolen := r.Totals.SocketSteals + r.Totals.RemoteSteals; stolen > 0 || r.Totals.LocalTakes > 0 {
+		fmt.Fprintf(w, "steals: %d local tasks, %d socket, %d remote (%d executed remotely); imbalance p50 %.2f p90 %.2f max %.2f\n",
+			r.Totals.LocalTakes, r.Totals.SocketSteals, r.Totals.RemoteSteals,
+			r.Totals.RemoteExecuted, r.Imbalance.P50, r.Imbalance.P90, r.Imbalance.Max)
+	}
 	for _, name := range sortedKeys(r.Throughput) {
 		fmt.Fprintf(w, "throughput %-8s %.3g pairs/s\n", name, r.Throughput[name])
 	}

@@ -12,6 +12,12 @@ type Sample struct {
 	T      time.Duration
 	Depths []int
 	States []State
+	// Imbalance is the occupancy-imbalance ratio across the registered
+	// queues at this tick: max depth over mean depth, 1.0 when depths are
+	// uniform (including the all-empty case) and up to len(Depths) when a
+	// single queue holds everything. The tuner reads it as the
+	// operation-level skew signal.
+	Imbalance float64
 }
 
 // series is the bounded sample store. Instead of a ring that forgets the

@@ -113,7 +113,19 @@ type Worker struct {
 	pushes      atomic.Uint64
 	failedPush  atomic.Uint64
 	sleepMicros atomic.Uint64
+	// Work-stealing counters, indexed by steal class (0 local take,
+	// 1 socket steal, 2 remote steal — topology.StealClass values; the
+	// int indexing keeps telemetry free of a topology dependency).
+	stealBatches   [NumStealClasses]atomic.Uint64
+	stealTasks     [NumStealClasses]atomic.Uint64
+	remoteExecuted atomic.Uint64
 }
+
+// Steal class indices and labels, mirroring topology.StealClass.
+const NumStealClasses = 3
+
+// StealClassNames are the metric label values, indexed by class.
+var StealClassNames = [NumStealClasses]string{"local", "socket", "remote"}
 
 // SetState publishes the worker's activity phase for the sampler.
 func (w *Worker) SetState(s State) {
@@ -141,6 +153,23 @@ func (w *Worker) AddCombined(n int) {
 func (w *Worker) AddTasks(n int) {
 	if w != nil && n > 0 {
 		w.tasks.Add(uint64(n))
+	}
+}
+
+// AddSteal counts one take of n tasks in the given steal class (a
+// topology.StealClass value); out-of-range classes are dropped.
+func (w *Worker) AddSteal(class int, n int) {
+	if w != nil && class >= 0 && class < NumStealClasses && n > 0 {
+		w.stealBatches[class].Add(1)
+		w.stealTasks[class].Add(uint64(n))
+	}
+}
+
+// AddRemoteExecuted counts n completed map tasks that this worker stole
+// from another locality group's deque.
+func (w *Worker) AddRemoteExecuted(n int) {
+	if w != nil && n > 0 {
+		w.remoteExecuted.Add(uint64(n))
 	}
 }
 
@@ -211,16 +240,17 @@ type Telemetry struct {
 	// mr.Config.
 	Addr string
 
-	mu       sync.Mutex
-	engine   string
-	start    time.Time
-	workers  []*Worker
-	queues   []registeredQueue
-	series   *series
-	observer func(Sample)
-	stop     chan struct{}
-	done     chan struct{}
-	last     *Report
+	mu            sync.Mutex
+	engine        string
+	start         time.Time
+	workers       []*Worker
+	queues        []registeredQueue
+	series        *series
+	observer      func(Sample)
+	stop          chan struct{}
+	done          chan struct{}
+	last          *Report
+	lastImbalance float64
 }
 
 // New returns a Telemetry with default knobs, ready for mr.Config.
@@ -246,6 +276,7 @@ func (t *Telemetry) BeginRun(engine string) {
 		max = DefaultMaxSamples
 	}
 	t.series = newSeries(max)
+	t.lastImbalance = 0
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	t.stop, t.done = stop, done
@@ -312,9 +343,22 @@ func (t *Telemetry) sample(force bool) {
 	s := Sample{T: time.Since(t.start)}
 	if len(t.queues) > 0 {
 		s.Depths = make([]int, len(t.queues))
+		sum, max := 0, 0
 		for i, q := range t.queues {
-			s.Depths[i] = q.probe.Len()
+			d := q.probe.Len()
+			s.Depths[i] = d
+			sum += d
+			if d > max {
+				max = d
+			}
 		}
+		// Imbalance = max/mean; an all-empty tick is balanced (1.0), not
+		// undefined, so epochs of pure idleness never read as skew.
+		s.Imbalance = 1.0
+		if sum > 0 {
+			s.Imbalance = float64(max) * float64(len(t.queues)) / float64(sum)
+		}
+		t.lastImbalance = s.Imbalance
 	}
 	if len(t.workers) > 0 {
 		s.States = make([]State, len(t.workers))

@@ -1,0 +1,134 @@
+package topology
+
+import "testing"
+
+// fourSocket returns a synthetic 4-node machine with uniform cross-socket
+// cost, so victim ordering must fall back to the ring tie-break.
+func fourSocket() *Machine {
+	return &Machine{
+		Name:           "four-socket",
+		Sockets:        4,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		Enum:           EnumCompact,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 3, SizeBytes: 8 << 20, LineBytes: 64, Assoc: 16, Scope: ScopePerSocket, LatencyCycles: 40},
+		},
+		MemLatencyCycles:         200,
+		CrossSocketPenaltyCycles: 100,
+	}
+}
+
+// globalLLC returns a dual-node machine whose last-level cache spans both
+// nodes (Phi-style ring), so cross-group steals stay cache-resident.
+func globalLLC() *Machine {
+	return &Machine{
+		Name:           "global-llc",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		Enum:           EnumCompact,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, Scope: ScopePerCore, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 16 << 20, LineBytes: 64, Assoc: 16, Scope: ScopeGlobal, LatencyCycles: 24},
+		},
+		MemLatencyCycles:         300,
+		CrossSocketPenaltyCycles: 0,
+	}
+}
+
+// TestStealClassString pins the metric labels.
+func TestStealClassString(t *testing.T) {
+	want := map[StealClass]string{StealLocal: "local", StealSocket: "socket", StealRemote: "remote"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}
+
+// TestGroupStealClassHaswell: Haswell sockets share no cache, so every
+// cross-group steal is remote; own-group takes are local.
+func TestGroupStealClassHaswell(t *testing.T) {
+	m := HaswellServer()
+	if got := m.GroupStealClass(0, 0); got != StealLocal {
+		t.Fatalf("GroupStealClass(0,0) = %v, want local", got)
+	}
+	if got := m.GroupStealClass(0, 1); got != StealRemote {
+		t.Fatalf("GroupStealClass(0,1) = %v, want remote", got)
+	}
+	if got := m.GroupStealClass(1, 0); got != StealRemote {
+		t.Fatalf("GroupStealClass(1,0) = %v, want remote", got)
+	}
+}
+
+// TestGroupStealClassGlobalLLC: a machine-wide LLC keeps cross-group
+// steals in the socket class.
+func TestGroupStealClassGlobalLLC(t *testing.T) {
+	m := globalLLC()
+	if got := m.GroupStealClass(0, 1); got != StealSocket {
+		t.Fatalf("GroupStealClass(0,1) = %v, want socket", got)
+	}
+}
+
+// TestVictimOrderHaswell: two groups each list only the other.
+func TestVictimOrderHaswell(t *testing.T) {
+	order := HaswellServer().VictimOrder()
+	if len(order) != 2 {
+		t.Fatalf("%d orders, want 2", len(order))
+	}
+	if len(order[0]) != 1 || order[0][0] != 1 {
+		t.Fatalf("group 0 victims = %v, want [1]", order[0])
+	}
+	if len(order[1]) != 1 || order[1][0] != 0 {
+		t.Fatalf("group 1 victims = %v, want [0]", order[1])
+	}
+}
+
+// TestVictimOrderPhi: a single-group machine has an empty victim list —
+// stealing degenerates to pure local dispatch.
+func TestVictimOrderPhi(t *testing.T) {
+	order := XeonPhi().VictimOrder()
+	if len(order) != 1 || len(order[0]) != 0 {
+		t.Fatalf("Phi victim order = %v, want [[]]", order)
+	}
+}
+
+// TestVictimOrderRingTieBreak: with uniform cross-socket cost, victims
+// follow ring order from the thief's group, so concurrent thieves from
+// different groups probe different victims first.
+func TestVictimOrderRingTieBreak(t *testing.T) {
+	order := fourSocket().VictimOrder()
+	want := [][]int{{1, 2, 3}, {2, 3, 0}, {3, 0, 1}, {0, 1, 2}}
+	for g := range want {
+		if len(order[g]) != len(want[g]) {
+			t.Fatalf("group %d victims = %v, want %v", g, order[g], want[g])
+		}
+		for i := range want[g] {
+			if order[g][i] != want[g][i] {
+				t.Fatalf("group %d victims = %v, want %v", g, order[g], want[g])
+			}
+		}
+	}
+}
+
+// TestVictimOrderNonDenseSockets: victim orders index dense groups even
+// when socket labels have gaps.
+func TestVictimOrderNonDenseSockets(t *testing.T) {
+	m := nonDense()
+	order := m.VictimOrder()
+	if len(order) != 2 {
+		t.Fatalf("%d orders, want 2", len(order))
+	}
+	if order[0][0] != 1 || order[1][0] != 0 {
+		t.Fatalf("non-dense victim order = %v, want [[1] [0]]", order)
+	}
+	for g, victims := range order {
+		for _, v := range victims {
+			if v < 0 || v >= len(order) || v == g {
+				t.Fatalf("group %d has invalid victim %d", g, v)
+			}
+		}
+	}
+}

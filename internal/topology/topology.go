@@ -312,6 +312,95 @@ func (m *Machine) GroupOf(cpuID int) (int, bool) {
 	return g, ok
 }
 
+// StealClass buckets a work-steal by the communication distance between
+// the thief's locality group and the victim's, mirroring Distance but at
+// group granularity. Telemetry counts steals per class so skew reports can
+// separate cheap cache-local rebalancing from expensive cross-NUMA moves.
+type StealClass int
+
+const (
+	// StealLocal is a take from the thief's own group deque (not a steal
+	// in the strict sense; counted so local/remote ratios are computable).
+	StealLocal StealClass = iota
+	// StealSocket is a steal between groups that still share a cache
+	// level (the Xeon Phi ring of L2 slices spans all groups), so the
+	// stolen splits stay LLC-resident.
+	StealSocket
+	// StealRemote is a steal between groups with no shared cache: the
+	// splits cross the interconnect and fault into the thief's node.
+	StealRemote
+	// NumStealClasses sizes per-class counter arrays.
+	NumStealClasses = 3
+)
+
+// String returns the class label used in metrics ("local", "socket",
+// "remote").
+func (c StealClass) String() string {
+	switch c {
+	case StealLocal:
+		return "local"
+	case StealSocket:
+		return "socket"
+	case StealRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("StealClass(%d)", int(c))
+	}
+}
+
+// groupRep returns the representative logical CPU (lowest id) of locality
+// group g, for group-to-group distance queries.
+func (m *Machine) groupRep(g int) int {
+	return m.LocalityGroups()[g][0]
+}
+
+// GroupStealClass classifies a steal from group `from` (the thief) out of
+// group `victim`. Locality groups are NUMA nodes, so any cross-group pair
+// is Distance 3; what actually differentiates the cost is whether a cache
+// level still spans both groups (ScopeGlobal LLC) or the line must travel
+// through memory.
+func (m *Machine) GroupStealClass(from, victim int) StealClass {
+	if from == victim {
+		return StealLocal
+	}
+	if m.SharedCacheLevel(m.groupRep(from), m.groupRep(victim)) > 0 {
+		return StealSocket
+	}
+	return StealRemote
+}
+
+// VictimOrder precomputes, for every locality group, the other groups
+// sorted by ascending transfer cost from that group's CPUs — the order in
+// which an idle mapper should probe for work to steal. Cost is the
+// TransferLatency between group representatives (which folds in shared
+// cache levels and the cross-socket penalty); ties break by ring distance
+// (victim-from mod n) so equal-cost victims are spread deterministically
+// instead of all thieves converging on group 0.
+func (m *Machine) VictimOrder() [][]int {
+	n := len(m.LocalityGroups())
+	order := make([][]int, n)
+	for g := 0; g < n; g++ {
+		victims := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != g {
+				victims = append(victims, v)
+			}
+		}
+		rep := m.groupRep(g)
+		sort.Slice(victims, func(i, j int) bool {
+			a, b := victims[i], victims[j]
+			la := m.TransferLatency(rep, m.groupRep(a))
+			lb := m.TransferLatency(rep, m.groupRep(b))
+			if la != lb {
+				return la < lb
+			}
+			return (a-g+n)%n < (b-g+n)%n
+		})
+		order[g] = victims
+	}
+	return order
+}
+
 // CompactOrder returns logical CPU ids reordered so that consecutive
 // positions are physically adjacent: the SMT siblings of a core first, then
 // the next core of the same socket, then the next socket. This is the

@@ -54,6 +54,11 @@ const (
 	DefaultGrowFailedPush  = 0.02
 	DefaultShrinkShortPoll = 0.60
 	DefaultShrinkOccupancy = 0.10
+	// DefaultGrowImbalance is the queue occupancy-imbalance ratio
+	// (max/mean depth, 1.0 = uniform) beyond which a backpressured epoch
+	// grows the pool even though mean occupancy looks fine: one hot queue
+	// is the straggler signature of a skewed key distribution.
+	DefaultGrowImbalance = 2.0
 
 	DefaultMinBatch  = 16
 	DefaultMaxBatch  = 8192
@@ -95,6 +100,14 @@ type Config struct {
 	// epochs, one combiner is added. 0 selects the defaults.
 	GrowOccupancy  float64
 	GrowFailedPush float64
+
+	// GrowImbalance is the queue occupancy-imbalance high-water mark: an
+	// epoch whose QueueImbalance exceeds it while producers see failed
+	// pushes counts toward the grow streak even when mean occupancy is
+	// below GrowOccupancy, so the pool grows toward a single hot queue
+	// instead of waiting for every ring to fill. 0 selects
+	// DefaultGrowImbalance.
+	GrowImbalance float64
 
 	// ShrinkShortPoll and ShrinkOccupancy are the low-water marks: when
 	// the short-poll rate exceeds ShrinkShortPoll AND occupancy p90 stays
@@ -155,6 +168,7 @@ func (c Config) withDefaults() Config {
 	def(&c.Hysteresis, DefaultHysteresis)
 	deff(&c.GrowOccupancy, DefaultGrowOccupancy)
 	deff(&c.GrowFailedPush, DefaultGrowFailedPush)
+	deff(&c.GrowImbalance, DefaultGrowImbalance)
 	deff(&c.ShrinkShortPoll, DefaultShrinkShortPoll)
 	deff(&c.ShrinkOccupancy, DefaultShrinkOccupancy)
 	def(&c.MinBatch, DefaultMinBatch)
@@ -191,6 +205,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("tuner: MinBackoff %v > MaxBackoff %v", c.MinBackoff, c.MaxBackoff)
 	case c.RevertMargin < 0 || c.RevertMargin >= 1:
 		return fmt.Errorf("tuner: RevertMargin must be in [0, 1), got %g", c.RevertMargin)
+	case c.GrowImbalance < 0:
+		return fmt.Errorf("tuner: GrowImbalance must be >= 0, got %g", c.GrowImbalance)
 	}
 	for i, n := range c.Schedule {
 		if n < 1 {
@@ -214,6 +230,12 @@ type Signals struct {
 	// ShortPollRate is short polls over all consume polls within the
 	// epoch — the consumer-side starvation signal.
 	ShortPollRate float64 `json:"short_poll_rate"`
+	// QueueImbalance is the p90 of the per-tick occupancy-imbalance
+	// ratio (max/mean queue depth) over the epoch: 1.0 means uniformly
+	// loaded rings, values toward the queue count mean one hot queue —
+	// the operation-level skew signal work stealing and the elastic pool
+	// react to.
+	QueueImbalance float64 `json:"queue_imbalance"`
 	// CombinedPairs is the number of pairs folded by combiners during
 	// the epoch; divided by Ticks it is the controller's throughput
 	// objective.
@@ -401,9 +423,12 @@ func (c *Controller) step(sig Signals) string {
 		return "hold"
 	}
 
-	// --- Elastic pool: grow on sustained backpressure, shrink on
-	// sustained starvation. Streaks implement the hysteresis.
-	if sig.OccP90 >= c.cfg.GrowOccupancy && sig.FailedPushRate >= c.cfg.GrowFailedPush {
+	// --- Elastic pool: grow on sustained backpressure — uniformly full
+	// rings, or one hot ring (skew) while producers still fail pushes —
+	// shrink on sustained starvation. Streaks implement the hysteresis.
+	pressured := sig.OccP90 >= c.cfg.GrowOccupancy ||
+		sig.QueueImbalance >= c.cfg.GrowImbalance
+	if pressured && sig.FailedPushRate >= c.cfg.GrowFailedPush {
 		c.growStreak++
 	} else {
 		c.growStreak = 0

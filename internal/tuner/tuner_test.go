@@ -71,6 +71,38 @@ func TestHysteresisPreventsSingleEpochAction(t *testing.T) {
 	}
 }
 
+// TestGrowOnImbalance: a skewed epoch — mean occupancy comfortably below
+// GrowOccupancy but one hot ring pushing the imbalance ratio past
+// GrowImbalance while producers fail pushes — must grow the pool, and
+// imbalance alone (no backpressure) must not.
+func TestGrowOnImbalance(t *testing.T) {
+	skewed := Signals{OccP90: 0.30, QueueImbalance: 3.5, FailedPushRate: 0.10, CombinedPairs: 1000, Ticks: 16}
+	c := NewController(Config{Hysteresis: 2, MaxCombiners: 8}, baseSettings())
+	c.Advance(skewed)
+	d := c.Advance(skewed)
+	if d.Settings.Combiners != 3 || d.Action != "grow" {
+		t.Fatalf("pool did not grow on sustained imbalance: %+v", d)
+	}
+
+	// Imbalance without failed pushes is not backpressure: hold.
+	idleSkew := Signals{OccP90: 0.30, QueueImbalance: 3.5, FailedPushRate: 0.0, CombinedPairs: 1000, Ticks: 16}
+	c2 := NewController(Config{Hysteresis: 2, MaxCombiners: 8}, baseSettings())
+	for i := 0; i < 4; i++ {
+		if d := c2.Advance(idleSkew); d.Action == "grow" {
+			t.Fatalf("pool grew on imbalance without backpressure: %+v", d)
+		}
+	}
+
+	// Below the imbalance threshold the old rule governs unchanged.
+	mild := Signals{OccP90: 0.30, QueueImbalance: 1.2, FailedPushRate: 0.10, CombinedPairs: 1000, Ticks: 16}
+	c3 := NewController(Config{Hysteresis: 2, MaxCombiners: 8}, baseSettings())
+	for i := 0; i < 4; i++ {
+		if d := c3.Advance(mild); d.Action == "grow" {
+			t.Fatalf("pool grew below both high-water marks: %+v", d)
+		}
+	}
+}
+
 // TestShrinkOnStarvation: sustained short-poll dominance with empty rings
 // parks a combiner, bounded below by MinCombiners.
 func TestShrinkOnStarvation(t *testing.T) {
@@ -208,6 +240,7 @@ func TestConfigValidate(t *testing.T) {
 		{MinBatch: 100, MaxBatch: 10},
 		{MinBackoff: time.Second, MaxBackoff: time.Millisecond},
 		{RevertMargin: 1.5},
+		{GrowImbalance: -1},
 		{Schedule: []int{2, 0}},
 	}
 	for i, c := range bad {

@@ -55,6 +55,9 @@ type RunInfo struct {
 	Phases mr.PhaseTimes
 	// Queue aggregates SPSC counters (RAMR engine only).
 	Queue mr.QueueStats
+	// Steal aggregates the map phase's work-stealing counters by
+	// distance class (RAMR engine only).
+	Steal mr.StealStats
 	// Pairs is the number of distinct output keys.
 	Pairs int
 	// Digest is an order-independent hash of the output for
@@ -131,6 +134,7 @@ func RunTypedContext[S any, K comparable, V, R any](ctx context.Context, spec *m
 		Wall:      time.Since(start),
 		Phases:    res.Phases,
 		Queue:     res.QueueStats,
+		Steal:     res.Steal,
 		Pairs:     len(res.Pairs),
 		Telemetry: res.Telemetry,
 		Tuner:     res.TunerReport,
