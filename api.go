@@ -34,6 +34,7 @@ import (
 
 	"ramr/internal/container"
 	"ramr/internal/core"
+	"ramr/internal/memo"
 	"ramr/internal/mr"
 	"ramr/internal/spsc"
 	"ramr/internal/telemetry"
@@ -240,6 +241,21 @@ func Iterate[K comparable, R any](
 ) (*Result[K, R], IterInfo, error) {
 	return mr.Iterate(maxIter, run, done)
 }
+
+// ResultCache is a byte-bounded LRU over finished run results keyed by
+// content digest — the memoization layer behind the job service's
+// 200-from-cache responses, reusable by embedders that front the
+// library with their own admission path.
+type ResultCache = memo.Cache
+
+// ResultCacheStats is a point-in-time snapshot of a ResultCache's
+// hit/miss/coalesce/eviction counters and byte accounting.
+type ResultCacheStats = memo.Stats
+
+// NewResultCache returns a cache bounded to maxBytes of accounted
+// result payload (0 selects the 32 MiB default, negative disables
+// caching — every Get misses and every Put is dropped).
+func NewResultCache(maxBytes int64) *ResultCache { return memo.NewCache(maxBytes) }
 
 // RunContext is Run with cancellation: once ctx is cancelled, mappers stop
 // taking tasks after the current one, the pipeline drains cleanly, and the

@@ -62,6 +62,8 @@ func main() {
 		maxQueued    = flag.Int("max-queued", 0, "admission queue bound; POST /jobs returns 429 beyond it (0 = default)")
 		seed         = flag.Int64("seed", 0, "scheduler tie-break seed")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and running jobs before cancelling")
+		cacheBytes   = flag.Int64("cache-max-bytes", 0, "result memo cache bound in bytes; repeat submissions of an identical job return the cached result with HTTP 200 (0 = 32 MiB default, negative disables)")
+		retain       = flag.Int("retain-finished", 0, "finished-job records kept in the registry before the oldest are evicted (0 = 128 default, negative retains all)")
 	)
 	flag.Parse()
 
@@ -70,10 +72,12 @@ func main() {
 		log.Fatalf("ramrd: %v", err)
 	}
 	svc, err := service.New(service.Config{
-		Machine:   m,
-		Budget:    *budget,
-		MaxQueued: *maxQueued,
-		Seed:      *seed,
+		Machine:        m,
+		Budget:         *budget,
+		MaxQueued:      *maxQueued,
+		Seed:           *seed,
+		CacheMaxBytes:  *cacheBytes,
+		RetainFinished: *retain,
 	})
 	if err != nil {
 		log.Fatalf("ramrd: %v", err)

@@ -1,0 +1,188 @@
+// Package memo is the content-addressed result cache behind ramrd's
+// admission dedup: a byte-accounted, bounded LRU mapping a job's
+// canonical content digest (workload + input parameters + engine config
+// + seed — the full identity of the computation) to its finished result,
+// so a repeat submission is served instantly without a scheduler
+// admission or a CPU grant. The cache also carries the dedup telemetry —
+// hit/miss/coalesce/eviction counters and cached-byte gauges — so every
+// surface (/stats, Prometheus, status documents) reads one source.
+//
+// The cache stores opaque values: callers supply a size estimate per
+// entry (the job service uses the JSON-encoded result length), and the
+// sum of retained sizes never exceeds the configured bound — the
+// least-recently-used entries are evicted first, which is exactly the
+// bounded-retention discipline the job registry shares.
+//
+// All methods are safe for concurrent use.
+package memo
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultMaxBytes bounds the cache when NewCache is given 0.
+const DefaultMaxBytes = 32 << 20
+
+// Stats is a point-in-time snapshot of the cache's effectiveness
+// counters and occupancy gauges, JSON-shaped for the /stats document.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesced counts duplicate submissions folded onto an in-flight
+	// execution (recorded by the admission layer via NoteCoalesced).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries removed to satisfy the byte bound,
+	// including oversize entries dropped at insert.
+	Evictions uint64 `json:"evictions"`
+	// Bytes and Entries gauge current occupancy; MaxBytes is the bound.
+	Bytes    int64 `json:"cached_bytes"`
+	Entries  int   `json:"cached_entries"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// Cache is a byte-accounted LRU keyed by digest strings.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, coalesced, evictions uint64
+}
+
+// item is one retained entry; list elements hold *item.
+type item struct {
+	key   string
+	value any
+	size  int64
+}
+
+// NewCache returns a Cache bounded to maxBytes: 0 selects
+// DefaultMaxBytes, a negative bound disables caching entirely (Get
+// always misses, Put drops) while the coalesce counter keeps working.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache can retain anything.
+func (c *Cache) Enabled() bool { return c.max > 0 }
+
+// MaxBytes returns the configured byte bound.
+func (c *Cache) MaxBytes() int64 { return c.max }
+
+// Get returns the value cached under key and refreshes its recency,
+// counting a hit; a missing key counts a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*item).value, true
+}
+
+// Put inserts (or replaces) the value under key, charging size bytes
+// against the bound and evicting least-recently-used entries until the
+// total fits. A value larger than the whole bound is dropped without
+// insertion and counted as an eviction; a disabled cache drops
+// everything.
+func (c *Cache) Put(key string, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 || size > c.max {
+		c.evictions++
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*item)
+		c.bytes += size - it.size
+		it.value, it.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&item{key: key, value: value, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions++
+	}
+}
+
+// Remove deletes key from the cache, reporting whether it was present.
+// Removal is an invalidation, not an eviction, so the eviction counter
+// is untouched.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		c.removeLocked(el)
+	}
+	return ok
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	it := el.Value.(*item)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.bytes -= it.size
+}
+
+// NoteCoalesced counts one duplicate submission folded onto an in-flight
+// execution. The cache carries the counter so all dedup telemetry reads
+// from one place.
+func (c *Cache) NoteCoalesced() {
+	c.mu.Lock()
+	c.coalesced++
+	c.mu.Unlock()
+}
+
+// Len returns the number of retained entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the current byte occupancy.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats snapshots the counters and gauges.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.ll.Len(),
+		MaxBytes:  c.max,
+	}
+}

@@ -1,0 +1,130 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutLRUOrder(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put("c", 3, 40)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing right after insert")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 80 || st.Entries != 2 {
+		t.Fatalf("occupancy = %d bytes / %d entries, want 80 / 2", st.Bytes, st.Entries)
+	}
+}
+
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 30)
+	c.Put("a", 2, 70)
+	if got := c.Bytes(); got != 70 {
+		t.Fatalf("bytes after replace = %d, want 70", got)
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("replaced value = %v, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestOversizeDropped(t *testing.T) {
+	c := NewCache(64)
+	c.Put("big", 1, 65)
+	if c.Len() != 0 {
+		t.Fatal("oversize entry was inserted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("oversize drop not counted: %+v", st)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := NewCache(-1)
+	if c.Enabled() {
+		t.Fatal("negative bound reports enabled")
+	}
+	c.Put("a", 1, 8)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	c.NoteCoalesced()
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != 1 || st.Entries != 0 {
+		t.Fatalf("disabled stats: %+v", st)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", 1, 10)
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) = false for present key")
+	}
+	if c.Remove("a") {
+		t.Fatal("Remove(a) = true for absent key")
+	}
+	st := c.Stats()
+	if st.Bytes != 0 || st.Entries != 0 || st.Evictions != 0 {
+		t.Fatalf("post-remove stats: %+v", st)
+	}
+}
+
+func TestDefaultBound(t *testing.T) {
+	if got := NewCache(0).MaxBytes(); got != DefaultMaxBytes {
+		t.Fatalf("MaxBytes() = %d, want DefaultMaxBytes", got)
+	}
+}
+
+// TestConcurrentAccess exercises the lock discipline under -race and
+// checks the byte gauge never exceeds the bound.
+func TestConcurrentAccess(t *testing.T) {
+	c := NewCache(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				c.Put(key, i, 64)
+				c.Get(key)
+				if i%17 == 0 {
+					c.Remove(key)
+				}
+				c.NoteCoalesced()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed bound %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Coalesced != 8*200 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, 8*200)
+	}
+	if int64(st.Entries)*64 != st.Bytes {
+		t.Fatalf("entries %d inconsistent with bytes %d", st.Entries, st.Bytes)
+	}
+}

@@ -240,6 +240,11 @@ type Job struct {
 	// skipped marks that a younger job started while this one did not
 	// fit; it arms the dispatch reservation.
 	skipped bool
+	// waiters counts the parties observing this job's completion:
+	// the submitter plus every coalesced duplicate submission attached
+	// with AddWaiter (guarded by the owning scheduler's mu). DropWaiter
+	// cancels the execution only when the last waiter detaches.
+	waiters int
 
 	// Guarded by the owning scheduler's mu.
 	state    State
@@ -264,6 +269,9 @@ type JobStatus struct {
 	Finished time.Time
 	// Err is the job's terminal error, nil while live or on success.
 	Err error
+	// Waiters is the job's current waiter count (the submitter plus
+	// coalesced duplicate submissions; see Job.AddWaiter).
+	Waiters int
 	// Metrics is the job's final metric map (copy); nil until finished
 	// or when the JobSpec had no Metrics callback.
 	Metrics map[string]float64
@@ -349,6 +357,17 @@ func New(cfg Config) (*Scheduler, error) {
 // Machine returns the topology grants are carved from.
 func (s *Scheduler) Machine() *topology.Machine { return s.machine }
 
+// ReserveID mints a job id from the scheduler's sequence without
+// admitting any work. Layers that coalesce duplicate submissions onto
+// one running job use it to hand each attached waiter a distinct id
+// from the same space as real jobs, so ids never collide.
+func (s *Scheduler) ReserveID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
 // Budget returns the schedulable CPU count.
 func (s *Scheduler) Budget() int { return len(s.budget) }
 
@@ -401,6 +420,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		seq:      s.seq,
 		state:    StateQueued,
 		queuedAt: time.Now(),
+		waiters:  1,
 	}
 	j.runCtx = ctx
 	j.run = spec.Run
@@ -639,13 +659,15 @@ func (s *Scheduler) startLocked(j *Job) {
 	go func() {
 		defer s.wg.Done()
 		err := runSafe(j.runCtx, grant, j.run)
-		// Collect final metrics outside the scheduler lock; the write
-		// happens-before finish's lock acquisition, so readers under mu
-		// see it.
+		// Collect final metrics outside the scheduler lock — the
+		// callback may be slow — but hand them to finish, which assigns
+		// j.metrics under mu: Status() reads the field under the same
+		// lock and may run concurrently with this goroutine.
+		var m map[string]float64
 		if j.metricsFn != nil {
-			j.metrics = metricsSafe(j.metricsFn)
+			m = metricsSafe(j.metricsFn)
 		}
-		s.finish(j, err)
+		s.finish(j, err, m)
 	}()
 }
 
@@ -667,13 +689,14 @@ func runSafe(ctx context.Context, grant []int, run RunFunc) (err error) {
 	return run(ctx, grant)
 }
 
-func (s *Scheduler) finish(j *Job, err error) {
+func (s *Scheduler) finish(j *Job, err error, metrics map[string]float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, id := range j.grant {
 		s.free[id] = true
 	}
 	delete(s.running, j.id)
+	j.metrics = metrics
 	j.state = StateDone
 	j.finished = time.Now()
 	if err == nil {
@@ -777,7 +800,9 @@ func (j *Job) Wait(ctx context.Context) error {
 
 // Cancel stops the job: a queued job is removed without running, a
 // running job's context fires and the engine drains. Safe to call in any
-// state, any number of times.
+// state, any number of times. Cancel is unconditional — it does not
+// consult the waiter count; coalescing layers that want last-waiter
+// semantics use DropWaiter instead.
 func (j *Job) Cancel() {
 	s := j.s
 	s.mu.Lock()
@@ -788,6 +813,50 @@ func (j *Job) Cancel() {
 	}
 	s.mu.Unlock()
 	j.cancel()
+}
+
+// AddWaiter attaches one more waiter to the job. Duplicate submissions
+// coalesced onto a single execution each hold a waiter reference; all of
+// them observe the job's completion (including error and cancellation)
+// through Wait/Status, and the execution is cancelled only when the last
+// reference detaches via DropWaiter. Attaching to an already-terminal
+// job is allowed — the new waiter simply observes the settled outcome.
+func (j *Job) AddWaiter() {
+	j.s.mu.Lock()
+	j.waiters++
+	j.s.mu.Unlock()
+}
+
+// DropWaiter detaches one waiter and reports whether this detach
+// cancelled the execution: dropping the last waiter from a live job
+// cancels it exactly like Cancel (a queued job never starts, a running
+// job's context fires), while earlier drops leave the job running for
+// the remaining waiters. Dropping from a terminal job is a no-op.
+func (j *Job) DropWaiter() bool {
+	s := j.s
+	s.mu.Lock()
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	if j.waiters > 0 || j.state == StateDone || j.state == StateCanceled {
+		s.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		s.removeQueuedLocked(j, context.Canceled)
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// Waiters returns the job's current waiter count.
+func (j *Job) Waiters() int {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.waiters
 }
 
 // Status snapshots the job.
@@ -804,6 +873,7 @@ func (j *Job) Status() JobStatus {
 		Started:  j.started,
 		Finished: j.finished,
 		Err:      j.err,
+		Waiters:  j.waiters,
 		Metrics:  copyMetrics(j.metrics),
 	}
 }

@@ -544,3 +544,115 @@ func TestJobMetrics(t *testing.T) {
 		t.Fatalf("panicky metrics job: %+v", st)
 	}
 }
+
+// TestWaiterFanoutRunning: coalesced waiters on a running job detach one
+// by one; the execution is cancelled only by the last detach.
+func TestWaiterFanoutRunning(t *testing.T) {
+	sc, err := New(Config{Machine: testMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan []int, 1)
+	release := make(chan struct{})
+	j, err := sc.Submit(JobSpec{Name: "leader", Priority: PriorityNormal, Run: blockingJob(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.AddWaiter()
+	j.AddWaiter()
+	if got := j.Waiters(); got != 3 {
+		t.Fatalf("waiters = %d, want 3", got)
+	}
+	if j.DropWaiter() {
+		t.Fatal("first DropWaiter cancelled a job with two remaining waiters")
+	}
+	if st := j.Status(); st.State != StateRunning || st.Waiters != 2 {
+		t.Fatalf("after one drop: state %v, waiters %d", st.State, st.Waiters)
+	}
+	if j.DropWaiter() {
+		t.Fatal("second DropWaiter cancelled a job with one remaining waiter")
+	}
+	if !j.DropWaiter() {
+		t.Fatal("last DropWaiter did not cancel the running job")
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader error = %v, want context.Canceled", err)
+	}
+	// Terminal drops are no-ops.
+	if j.DropWaiter() {
+		t.Fatal("DropWaiter on a terminal job reported a cancellation")
+	}
+}
+
+// TestWaiterFanoutQueued: the last waiter detaching from a still-queued
+// job removes it before it ever runs.
+func TestWaiterFanoutQueued(t *testing.T) {
+	sc, err := New(Config{Machine: testMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan []int, 1)
+	release := make(chan struct{})
+	blocker, err := sc.Submit(JobSpec{Name: "blocker", MinCPUs: 8, MaxCPUs: 8, Priority: PriorityNormal, Run: blockingJob(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ran := false
+	q, err := sc.Submit(JobSpec{Name: "queued", MinCPUs: 8, Priority: PriorityNormal, Run: func(ctx context.Context, grant []int) error {
+		ran = true
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.AddWaiter()
+	if q.DropWaiter() {
+		t.Fatal("non-final DropWaiter cancelled the queued job")
+	}
+	if !q.DropWaiter() {
+		t.Fatal("final DropWaiter did not cancel the queued job")
+	}
+	if st := q.Status(); st.State != StateCanceled {
+		t.Fatalf("queued job state after last drop = %v, want canceled", st.State)
+	}
+	if ran {
+		t.Fatal("queued job ran despite all waiters detaching")
+	}
+	close(release)
+	if err := blocker.Wait(context.Background()); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+}
+
+// TestReserveID: reserved ids come from the same sequence as submitted
+// jobs and never collide with them.
+func TestReserveID(t *testing.T) {
+	sc, err := New(Config{Machine: testMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sc.Submit(JobSpec{Name: "a", Priority: PriorityNormal, Run: func(ctx context.Context, grant []int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := sc.ReserveID()
+	r2 := sc.ReserveID()
+	if r1 <= j.ID() || r2 <= r1 {
+		t.Fatalf("reserved ids %d, %d not strictly after job id %d", r1, r2, j.ID())
+	}
+	j2, err := sc.Submit(JobSpec{Name: "b", Priority: PriorityNormal, Run: func(ctx context.Context, grant []int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID() <= r2 {
+		t.Fatalf("job id %d collides with reserved id %d", j2.ID(), r2)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

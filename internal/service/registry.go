@@ -1,6 +1,8 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -125,9 +127,18 @@ func parseClass(s string) (workloads.SizeClass, error) {
 	}
 }
 
-// buildJob validates req, instantiates the named workload and assembles
-// the base engine config (before the grant overlay applied at dispatch).
-func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, error) {
+// buildJob validates req, instantiates the named workload, assembles the
+// base engine config (before the grant overlay applied at dispatch) and
+// renders the request's canonical content digest — the full identity of
+// the computation: workload name, the fully-resolved input parameters
+// (Table I platform/class and container, or SYNTH params after
+// defaulting), engine, seed, tuner flag and the whole config overlay.
+// Scheduling hints (priority, CPU bounds) affect placement, not the
+// computed result, so they are excluded: two requests with equal digests
+// compute the same Result and the memo cache may serve one from the
+// other. Defaulting happens before hashing, so an explicit default value
+// and an omitted field produce the same digest.
+func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, string, error) {
 	var cfg mr.Config
 
 	switch strings.ToLower(req.Engine) {
@@ -136,19 +147,20 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 	case "phoenix", "phoenix++":
 		req.engine = workloads.EnginePhoenix
 	default:
-		return nil, cfg, fmt.Errorf("unknown engine %q (want ramr|phoenix)", req.Engine)
+		return nil, cfg, "", fmt.Errorf("unknown engine %q (want ramr|phoenix)", req.Engine)
 	}
 	prio, err := sched.ParsePriority(strings.ToLower(req.Priority))
 	if err != nil {
-		return nil, cfg, err
+		return nil, cfg, "", err
 	}
 	req.priority = prio
 
 	app := strings.ToUpper(strings.TrimSpace(req.Workload))
 	var job *workloads.Job
+	var inputKey string
 	switch app {
 	case "":
-		return nil, cfg, fmt.Errorf("workload is required")
+		return nil, cfg, "", fmt.Errorf("workload is required")
 	case "SYNTH":
 		p := synth.DefaultParams()
 		sp := req.Synth
@@ -161,7 +173,7 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 		if sp.MapKind != "" || sp.MapIntensity > 0 {
 			k, err := parseKernelKind(sp.MapKind)
 			if err != nil {
-				return nil, cfg, err
+				return nil, cfg, "", err
 			}
 			p.MapKernel.Kind = k
 			if sp.MapIntensity > 0 {
@@ -171,7 +183,7 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 		if sp.CombineKind != "" || sp.CombineIntensity > 0 {
 			k, err := parseKernelKind(sp.CombineKind)
 			if err != nil {
-				return nil, cfg, err
+				return nil, cfg, "", err
 			}
 			p.CombineKernel.Kind = k
 			if sp.CombineIntensity > 0 {
@@ -180,33 +192,39 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 		}
 		if sp.Skew != 0 {
 			if sp.Skew <= 1 {
-				return nil, cfg, fmt.Errorf("synth.skew must be 0 (uniform) or > 1 (zipf exponent), got %g", sp.Skew)
+				return nil, cfg, "", fmt.Errorf("synth.skew must be 0 (uniform) or > 1 (zipf exponent), got %g", sp.Skew)
 			}
 			p.Skew = sp.Skew
 		}
 		job = synth.NewJob(p, req.Seed)
+		inputKey = fmt.Sprintf("synth=%d,%d,%d,%d,%d,%d,%g",
+			p.Elements, p.Keys,
+			int(p.MapKernel.Kind), p.MapKernel.Intensity,
+			int(p.CombineKernel.Kind), p.CombineKernel.Intensity,
+			p.Skew)
 	default:
 		platform, err := parsePlatform(req.Platform)
 		if err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
 		class, err := parseClass(req.Class)
 		if err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
 		in, err := workloads.Input(app, platform, class)
 		if err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
 		kind := workloads.StressContainer(app)
 		if req.Container != "" {
 			if kind, err = parseContainer(req.Container); err != nil {
-				return nil, cfg, err
+				return nil, cfg, "", err
 			}
 		}
 		if job, err = workloads.NewJobParams(app, in.Params, kind, req.Seed); err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
+		inputKey = fmt.Sprintf("input=%d,%d|container=%d", int(platform), int(class), int(kind))
 	}
 
 	cfg = mr.DefaultConfig()
@@ -230,19 +248,25 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 	if ov.Pin != "" {
 		pin, err := mr.ParsePinPolicy(ov.Pin)
 		if err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
 		cfg.Pin = pin
 	}
 	if ov.Steal != "" {
 		st, err := mr.ParseStealPolicy(ov.Steal)
 		if err != nil {
-			return nil, cfg, err
+			return nil, cfg, "", err
 		}
 		cfg.Steal = st
 	}
 	if req.Tuner {
 		cfg.Tuner = &tuner.Config{Seed: req.Seed}
 	}
-	return job, cfg, nil
+
+	h := sha256.New()
+	fmt.Fprintf(h, "app=%s|engine=%d|seed=%d|tuner=%t|%s|cfg=%d,%d,%d,%d,%d,%d,%d,%d,%d",
+		app, int(req.engine), req.Seed, req.Tuner, inputKey,
+		ov.Mappers, ov.Combiners, cfg.Ratio, cfg.TaskSize, cfg.QueueCapacity,
+		cfg.BatchSize, cfg.EmitBatch, int(cfg.Pin), int(cfg.Steal))
+	return job, cfg, hex.EncodeToString(h.Sum(nil)), nil
 }

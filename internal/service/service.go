@@ -6,21 +6,33 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"ramr/internal/memo"
 	"ramr/internal/mr"
 	"ramr/internal/sched"
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
 	"ramr/internal/workloads"
 )
+
+// DefaultRetainFinished bounds the number of finished job records the
+// registry keeps when Config.RetainFinished is 0. Past the bound the
+// oldest finished entries (and their telemetry registrations) are
+// evicted — the registry shares the memo cache's bounded-retention
+// discipline, so a long-lived daemon's memory stays flat.
+const DefaultRetainFinished = 128
 
 // Config parameterizes a Service.
 type Config struct {
@@ -33,32 +45,71 @@ type Config struct {
 	Seed      int64
 	// Observer taps scheduler events (tests assert invariants on it).
 	Observer func(sched.Event)
+	// CacheMaxBytes bounds the content-addressed result memo cache:
+	// 0 selects memo.DefaultMaxBytes, negative disables memoization
+	// (every submission executes; coalescing still applies).
+	CacheMaxBytes int64
+	// RetainFinished bounds the finished job records the registry keeps:
+	// 0 selects DefaultRetainFinished, negative retains everything (the
+	// pre-memo leaky behaviour, for tests only).
+	RetainFinished int
 }
 
-// Service owns a scheduler, the job registry and the shared telemetry
-// aggregator.
+// Service owns a scheduler, the job registry, the shared telemetry
+// aggregator and the content-addressed result memo cache.
 type Service struct {
 	machine *topology.Machine
 	sch     *sched.Scheduler
 	multi   *telemetry.Multi
+	cache   *memo.Cache
+	retain  int
 
-	mu      sync.Mutex
-	entries map[int]*entry
-	closed  bool
+	mu       sync.Mutex
+	entries  map[int]*entry
+	inflight map[string]*entry // content digest → live leader entry
+	closed   bool
 }
 
 // entry is one submitted job's retained state. The RunInfo (phase times,
 // queue stats, telemetry and tuner reports) is kept until the job is
-// deleted, so results survive the run itself.
+// deleted or the retention bound evicts it, so results survive the run
+// itself. A coalesced duplicate submission gets a follower entry: its
+// own id, but the leader's sched.Job (one waiter reference each) and the
+// leader's RunInfo — it observes the leader's completion, error and
+// cancellation.
 type entry struct {
 	id       int
 	workload string
 	engine   workloads.Engine
 	job      *sched.Job
-	telem    *telemetry.Telemetry
+	telem    *telemetry.Telemetry // nil for followers
+	digest   string               // canonical content digest (hex)
+	leader   *entry               // non-nil marks a follower
 
 	mu   sync.Mutex
 	info *workloads.RunInfo
+}
+
+// runInfo returns the entry's retained result, reading through to the
+// leader for followers.
+func (e *entry) runInfo() *workloads.RunInfo {
+	src := e
+	if e.leader != nil {
+		src = e.leader
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.info
+}
+
+// cachedRun is the memo cache's value: everything needed to answer a
+// repeat submission without touching the scheduler.
+type cachedRun struct {
+	jobID    int // the job that actually executed
+	workload string
+	engine   string
+	finished time.Time
+	info     *workloads.RunInfo
 }
 
 // finalMetrics flattens the retained RunInfo into the scheduler's metric
@@ -92,10 +143,17 @@ func New(cfg Config) (*Service, error) {
 	if m == nil {
 		m = topology.Detect()
 	}
+	retain := cfg.RetainFinished
+	if retain == 0 {
+		retain = DefaultRetainFinished
+	}
 	s := &Service{
-		machine: m,
-		multi:   telemetry.NewMulti(),
-		entries: make(map[int]*entry),
+		machine:  m,
+		multi:    telemetry.NewMulti(),
+		cache:    memo.NewCache(cfg.CacheMaxBytes),
+		retain:   retain,
+		entries:  make(map[int]*entry),
+		inflight: make(map[string]*entry),
 	}
 	sc, err := sched.New(sched.Config{
 		Machine:   m,
@@ -108,6 +166,7 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.sch = sc
+	s.multi.SetExtra(s.writeServiceProm)
 	return s, nil
 }
 
@@ -117,25 +176,59 @@ func (s *Service) Scheduler() *sched.Scheduler { return s.sch }
 // Multi exposes the shared telemetry aggregator backing /metrics.
 func (s *Service) Multi() *telemetry.Multi { return s.multi }
 
+// Cache exposes the result memo cache (tests and embedders).
+func (s *Service) Cache() *memo.Cache { return s.cache }
+
 // Submit admits one parsed job request. It is the programmatic core of
 // POST /jobs; the HTTP handler only decodes JSON around it.
-func (s *Service) Submit(req *JobRequest) (*entryStatus, error) {
-	job, cfg, err := buildJob(req, s.machine)
+//
+// Identical submissions are served without recomputation: the request's
+// canonical content digest (workload + input parameters + engine +
+// config overlay + seed — scheduling hints excluded) is looked up in the
+// memo cache first, and a hit returns the finished result instantly with
+// Cached set — no scheduler admission, no CPU grant, so saturated queues
+// drain under repeat traffic. A concurrent identical submission
+// coalesces onto the in-flight leader instead: the follower gets its own
+// job id and record but attaches a waiter to the leader's execution,
+// observing its completion, error or cancellation.
+func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
+	job, cfg, digest, err := buildJob(req, s.machine)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
-	e := &entry{
-		workload: job.App,
-		engine:   req.engine,
-		telem:    telemetry.New(),
-	}
-	cfg.Telemetry = e.telem
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, sched.ErrDraining
 	}
+	if v, ok := s.cache.Get(digest); ok {
+		doc := cachedDoc(v.(*cachedRun), digest)
+		return &doc, nil
+	}
+	if leader, ok := s.inflight[digest]; ok {
+		leader.job.AddWaiter()
+		f := &entry{
+			id:       s.sch.ReserveID(),
+			workload: leader.workload,
+			engine:   leader.engine,
+			job:      leader.job,
+			digest:   digest,
+			leader:   leader,
+		}
+		s.entries[f.id] = f
+		s.cache.NoteCoalesced()
+		doc := resultDoc{entryStatus: s.statusLocked(f)}
+		return &doc, nil
+	}
+
+	e := &entry{
+		workload: job.App,
+		engine:   req.engine,
+		telem:    telemetry.New(),
+		digest:   digest,
+	}
+	cfg.Telemetry = e.telem
 	sj, err := s.sch.Submit(sched.JobSpec{
 		Name:     job.App,
 		Priority: req.priority,
@@ -164,12 +257,112 @@ func (s *Service) Submit(req *JobRequest) (*entryStatus, error) {
 	e.id = sj.ID()
 	e.job = sj
 	s.entries[e.id] = e
+	s.inflight[digest] = e
 	s.multi.Register(strconv.Itoa(e.id), map[string]string{
 		"job": strconv.Itoa(e.id),
 		"app": e.workload,
 	}, e.telem)
-	st := s.statusLocked(e)
-	return &st, nil
+	go s.watch(e)
+	doc := resultDoc{entryStatus: s.statusLocked(e)}
+	return &doc, nil
+}
+
+// watch settles a leader's memoization once its job reaches a terminal
+// state: the in-flight slot is released and — atomically with it, under
+// s.mu, so a racing submission either coalesces or hits the cache but
+// never re-executes — a successful result is inserted into the memo
+// cache, byte-accounted by its JSON-encoded size. Failed and cancelled
+// runs are never cached: the next identical submission re-executes.
+func (s *Service) watch(e *entry) {
+	_ = e.job.Wait(context.Background())
+	st := e.job.Status()
+	e.mu.Lock()
+	info := e.info
+	e.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, e.digest)
+	if st.Err == nil && info != nil {
+		s.cache.Put(e.digest, &cachedRun{
+			jobID:    e.id,
+			workload: e.workload,
+			engine:   e.engine.String(),
+			finished: st.Finished,
+			info:     info,
+		}, resultSize(info))
+	}
+	s.retireLocked()
+}
+
+// resultSize estimates a retained result's memory footprint as its JSON
+// encoding (the same shape /jobs/{id}/result serves) plus a fixed
+// overhead for the surrounding entry bookkeeping.
+func resultSize(info *workloads.RunInfo) int64 {
+	const overhead = 256
+	b, err := json.Marshal(info)
+	if err != nil {
+		return 4096
+	}
+	return int64(len(b)) + overhead
+}
+
+// retireLocked enforces the registry retention bound: when more than
+// s.retain entries are terminal, the oldest-finished are removed along
+// with their telemetry registrations. Live entries are never touched.
+func (s *Service) retireLocked() {
+	if s.retain < 0 {
+		return
+	}
+	type finished struct {
+		e  *entry
+		at time.Time
+	}
+	var done []finished
+	for _, e := range s.entries {
+		js := e.job.Status()
+		if js.State == sched.StateDone || js.State == sched.StateCanceled {
+			done = append(done, finished{e, js.Finished})
+		}
+	}
+	if len(done) <= s.retain {
+		return
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if !done[i].at.Equal(done[j].at) {
+			return done[i].at.Before(done[j].at)
+		}
+		return done[i].e.id < done[j].e.id
+	})
+	for _, f := range done[:len(done)-s.retain] {
+		s.removeEntryLocked(f.e)
+	}
+}
+
+// removeEntryLocked deletes one job record and its telemetry
+// registration, so the /metrics exposition drops the job's labels.
+func (s *Service) removeEntryLocked(e *entry) {
+	delete(s.entries, e.id)
+	if e.telem != nil {
+		s.multi.Unregister(strconv.Itoa(e.id))
+	}
+}
+
+// cachedDoc renders a memo hit as a finished result document.
+func cachedDoc(cv *cachedRun, digest string) resultDoc {
+	st := entryStatus{
+		ID:            cv.jobID,
+		Workload:      cv.workload,
+		Engine:        cv.engine,
+		State:         sched.StateDone.String(),
+		Finished:      fmtTime(cv.finished),
+		Cached:        true,
+		ContentDigest: digest,
+	}
+	fillResult(&st, cv.info)
+	doc := resultDoc{entryStatus: st}
+	doc.fillDetail(cv.info)
+	return doc
 }
 
 // Shutdown stops admission and drains the scheduler: queued jobs still
@@ -209,14 +402,64 @@ type entryStatus struct {
 	// (p90 of max/mean depth per tick); 0 until the job finished with
 	// telemetry.
 	ImbalanceP90 float64 `json:"imbalance_p90,omitempty"`
+	// ContentDigest is the canonical identity of the computation (the
+	// memo cache key); two submissions with equal digests compute the
+	// same result.
+	ContentDigest string `json:"content_digest,omitempty"`
+	// Cached marks a submission answered from the memo cache without a
+	// scheduler admission; ID then names the job that originally
+	// executed the computation.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a follower record: this submission attached to an
+	// identical in-flight execution instead of starting its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Waiters counts the parties attached to the execution (submitter
+	// plus coalesced duplicates); 0 once terminal records settle.
+	Waiters int `json:"waiters,omitempty"`
 }
 
-// resultDoc is the full result document for GET /jobs/{id}/result.
+// resultDoc is the full result document for GET /jobs/{id}/result, and
+// the POST /jobs response body (Digest/Telemetry/Tuner populated only
+// for cache hits there).
 type resultDoc struct {
 	entryStatus
 	Digest    string            `json:"digest,omitempty"`
 	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
 	Tuner     *tunerSummary     `json:"tuner,omitempty"`
+}
+
+// fillResult copies a finished run's summary figures into the status.
+func fillResult(st *entryStatus, info *workloads.RunInfo) {
+	if info == nil {
+		return
+	}
+	st.WallMS = float64(info.Wall) / float64(time.Millisecond)
+	ph, q := info.Phases, info.Queue
+	st.Phases, st.Queue = &ph, &q
+	steal := info.Steal
+	st.Steal = &steal
+	st.Pairs = info.Pairs
+	if rep := info.Telemetry; rep != nil {
+		st.ImbalanceP90 = rep.Imbalance.P90
+	}
+}
+
+// fillDetail adds the deep result fields (output digest, telemetry and
+// tuner reports) to the document.
+func (doc *resultDoc) fillDetail(info *workloads.RunInfo) {
+	if info == nil {
+		return
+	}
+	if info.Digest != 0 {
+		doc.Digest = fmt.Sprintf("%016x", info.Digest)
+	}
+	doc.Telemetry = info.Telemetry
+	if info.Tuner != nil {
+		doc.Tuner = &tunerSummary{
+			Epochs: len(info.Tuner.Epochs),
+			Report: info.Tuner,
+		}
+	}
 }
 
 // tunerSummary is the retained per-job tuner report, flattened for JSON.
@@ -232,36 +475,29 @@ func fmtTime(t time.Time) string {
 	return t.UTC().Format(time.RFC3339Nano)
 }
 
-// statusLocked renders e's status; callers hold s.mu.
+// statusLocked renders e's status; callers hold s.mu. A follower entry
+// reports its own id but the shared execution's state, timings and
+// result.
 func (s *Service) statusLocked(e *entry) entryStatus {
 	js := e.job.Status()
 	st := entryStatus{
-		ID:       js.ID,
-		Workload: e.workload,
-		Engine:   e.engine.String(),
-		Priority: js.Priority.String(),
-		State:    js.State.String(),
-		Grant:    js.Grant,
-		QueuedAt: fmtTime(js.QueuedAt),
-		Started:  fmtTime(js.Started),
-		Finished: fmtTime(js.Finished),
+		ID:            e.id,
+		Workload:      e.workload,
+		Engine:        e.engine.String(),
+		Priority:      js.Priority.String(),
+		State:         js.State.String(),
+		Grant:         js.Grant,
+		QueuedAt:      fmtTime(js.QueuedAt),
+		Started:       fmtTime(js.Started),
+		Finished:      fmtTime(js.Finished),
+		ContentDigest: e.digest,
+		Coalesced:     e.leader != nil,
+		Waiters:       js.Waiters,
 	}
 	if js.Err != nil {
 		st.Error = js.Err.Error()
 	}
-	e.mu.Lock()
-	if info := e.info; info != nil {
-		st.WallMS = float64(info.Wall) / float64(time.Millisecond)
-		ph, q := info.Phases, info.Queue
-		st.Phases, st.Queue = &ph, &q
-		steal := info.Steal
-		st.Steal = &steal
-		st.Pairs = info.Pairs
-		if rep := info.Telemetry; rep != nil {
-			st.ImbalanceP90 = rep.Imbalance.P90
-		}
-	}
-	e.mu.Unlock()
+	fillResult(&st, e.runInfo())
 	return st
 }
 
@@ -290,12 +526,27 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// writeJSON encodes v fully before touching the ResponseWriter: a
+// marshal failure becomes a logged 500 instead of a silently truncated
+// body half-written after a success header.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("service: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"internal: response encoding failed"}`+"\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := buf.WriteTo(w); err != nil {
+		// The body was fully rendered; a short write here is the
+		// client hanging up, which is only worth a log line.
+		log.Printf("service: writing response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -310,11 +561,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	st, err := s.Submit(&req)
+	doc, err := s.Submit(&req)
 	switch {
+	case err == nil && doc.Cached:
+		// Served from the memo cache: no new job record was created, so
+		// 200 with the finished result, not 201 with a Location.
+		writeJSON(w, http.StatusOK, doc)
 	case err == nil:
-		w.Header().Set("Location", "/jobs/"+strconv.Itoa(st.ID))
-		writeJSON(w, http.StatusCreated, st)
+		w.Header().Set("Location", "/jobs/"+strconv.Itoa(doc.ID))
+		writeJSON(w, http.StatusCreated, doc)
 	case errors.Is(err, sched.ErrSaturated):
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, sched.ErrDraining):
@@ -324,6 +579,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// sortByID orders a document slice by job id — stable output for
+// clients and tests.
+func sortByID[T any](xs []T, id func(T) int) {
+	sort.Slice(xs, func(i, j int) bool { return id(xs[i]) < id(xs[j]) })
+}
+
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]entryStatus, 0, len(s.entries))
@@ -331,12 +592,7 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.statusLocked(e))
 	}
 	s.mu.Unlock()
-	// Stable order for clients and tests.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
+	sortByID(out, func(e entryStatus) int { return e.ID })
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
@@ -380,30 +636,47 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doc := resultDoc{entryStatus: st}
-	e.mu.Lock()
-	if info := e.info; info != nil {
-		if info.Digest != 0 {
-			doc.Digest = fmt.Sprintf("%016x", info.Digest)
-		}
-		doc.Telemetry = info.Telemetry
-		if info.Tuner != nil {
-			doc.Tuner = &tunerSummary{
-				Epochs: len(info.Tuner.Epochs),
-				Report: info.Tuner,
-			}
-		}
-	}
-	e.mu.Unlock()
+	doc.fillDetail(e.runInfo())
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// handleCancel implements DELETE /jobs/{id} with waiter-aware
+// semantics:
+//
+//   - finished (done/canceled) job: nothing to cancel — the retained
+//     record and its telemetry registration are removed, and 409
+//     Conflict reports the terminal state so the client can tell a real
+//     cancellation from this no-op (204 used to lie here).
+//   - live job with other waiters attached (coalesced duplicates): this
+//     record detaches and is removed; the shared execution keeps running
+//     for the remaining waiters. 204.
+//   - live job, last waiter: the execution is cancelled (queued jobs
+//     never start, running jobs drain); the record is kept so the
+//     terminal canceled state stays pollable. 204.
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	e.job.Cancel()
+	js := e.job.Status()
+	if js.State == sched.StateDone || js.State == sched.StateCanceled {
+		s.mu.Lock()
+		s.removeEntryLocked(e)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %d already %s; retained record deleted", e.id, js.State),
+			"state": js.State.String(),
+		})
+		return
+	}
+	if cancelled := e.job.DropWaiter(); !cancelled {
+		// Detached from a still-live coalesced execution (or lost a race
+		// with its completion): this record is dead either way.
+		s.mu.Lock()
+		s.removeEntryLocked(e)
+		s.mu.Unlock()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -416,28 +689,83 @@ type jobStats struct {
 	ImbalanceP90 float64        `json:"imbalance_p90,omitempty"`
 }
 
+// memoStats is the /stats memoization-and-retention section.
+type memoStats struct {
+	memo.Stats
+	// RetainedJobs gauges the registry (bounded by the retention
+	// discipline shared with the cache's LRU accounting).
+	RetainedJobs int `json:"retained_jobs"`
+	// RegisteredMetrics gauges live telemetry registrations — one per
+	// retained leader; bounded cardinality is the leak regression check.
+	RegisteredMetrics int `json:"registered_metrics"`
+}
+
+func (s *Service) memoStatsDoc() memoStats {
+	s.mu.Lock()
+	retained := len(s.entries)
+	s.mu.Unlock()
+	return memoStats{
+		Stats:             s.cache.Stats(),
+		RetainedJobs:      retained,
+		RegisteredMetrics: s.multi.Len(),
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sch.Stats()
 	s.mu.Lock()
 	jobs := make([]jobStats, 0, len(s.entries))
 	for _, e := range s.entries {
 		js := jobStats{ID: e.id, Workload: e.workload, State: e.job.Status().State.String()}
-		e.mu.Lock()
-		if info := e.info; info != nil {
+		if info := e.runInfo(); info != nil {
 			steal := info.Steal
 			js.Steal = &steal
 			if rep := info.Telemetry; rep != nil {
 				js.ImbalanceP90 = rep.Imbalance.P90
 			}
 		}
-		e.mu.Unlock()
 		jobs = append(jobs, js)
 	}
 	s.mu.Unlock()
-	for i := 1; i < len(jobs); i++ {
-		for j := i; j > 0 && jobs[j-1].ID > jobs[j].ID; j-- {
-			jobs[j-1], jobs[j] = jobs[j], jobs[j-1]
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"scheduler": st, "jobs": jobs})
+	sortByID(jobs, func(j jobStats) int { return j.ID })
+	writeJSON(w, http.StatusOK, map[string]any{"scheduler": st, "memo": s.memoStatsDoc(), "jobs": jobs})
+}
+
+// writeServiceProm is the telemetry.Multi extra writer: service-level
+// families appended after the per-job exposition, so memo and retention
+// gauges stay scrapeable even when every job record has been deleted.
+func (s *Service) writeServiceProm(w io.Writer) error {
+	m := s.memoStatsDoc()
+	_, err := fmt.Fprintf(w, `# HELP ramr_memo_hits_total Submissions answered from the result memo cache.
+# TYPE ramr_memo_hits_total counter
+ramr_memo_hits_total %d
+# HELP ramr_memo_misses_total Submissions that found no cached result.
+# TYPE ramr_memo_misses_total counter
+ramr_memo_misses_total %d
+# HELP ramr_memo_coalesced_total Duplicate submissions folded onto an in-flight execution.
+# TYPE ramr_memo_coalesced_total counter
+ramr_memo_coalesced_total %d
+# HELP ramr_memo_evictions_total Cached results evicted to satisfy the byte bound.
+# TYPE ramr_memo_evictions_total counter
+ramr_memo_evictions_total %d
+# HELP ramr_memo_cached_bytes Byte-accounted size of the result memo cache.
+# TYPE ramr_memo_cached_bytes gauge
+ramr_memo_cached_bytes %d
+# HELP ramr_memo_cached_entries Results retained in the memo cache.
+# TYPE ramr_memo_cached_entries gauge
+ramr_memo_cached_entries %d
+# HELP ramr_memo_max_bytes Configured memo cache byte bound.
+# TYPE ramr_memo_max_bytes gauge
+ramr_memo_max_bytes %d
+# HELP ramr_service_jobs_retained Job records retained in the registry.
+# TYPE ramr_service_jobs_retained gauge
+ramr_service_jobs_retained %d
+# HELP ramr_service_metrics_registered Live per-job telemetry registrations.
+# TYPE ramr_service_metrics_registered gauge
+ramr_service_metrics_registered %d
+`,
+		m.Hits, m.Misses, m.Coalesced, m.Evictions,
+		m.Bytes, m.Entries, m.MaxBytes,
+		m.RetainedJobs, m.RegisteredMetrics)
+	return err
 }

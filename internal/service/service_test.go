@@ -204,9 +204,13 @@ func TestAdmissionControl429(t *testing.T) {
 	// Hold the whole budget with a slow synthetic job, fill the 1-deep
 	// queue, then overflow: the third POST must get 429. All three are
 	// SYNTH jobs because their input generation is instant — a heavier
-	// generator inside POST would give the blocker time to finish.
+	// generator inside POST would give the blocker time to finish. The
+	// seeds differ so the requests have distinct content digests — an
+	// identical body would coalesce onto the queued job instead of
+	// consuming an admission slot.
 	slow := `{"workload":"SYNTH","min_cpus":56,"max_cpus":56,"config":{"pin":"none"},"synth":{"elements":400000,"map_intensity":300}}`
-	tiny := `{"workload":"SYNTH","min_cpus":56,"config":{"pin":"none"},"synth":{"elements":1000,"keys":16}}`
+	tiny := `{"workload":"SYNTH","seed":1,"min_cpus":56,"config":{"pin":"none"},"synth":{"elements":1000,"keys":16}}`
+	tiny2 := `{"workload":"SYNTH","seed":2,"min_cpus":56,"config":{"pin":"none"},"synth":{"elements":1000,"keys":16}}`
 	code, doc := postJob(t, ts, slow)
 	if code != http.StatusCreated {
 		t.Fatalf("first POST: HTTP %d (%v)", code, doc)
@@ -217,7 +221,7 @@ func TestAdmissionControl429(t *testing.T) {
 		t.Fatalf("second POST: HTTP %d (%v)", code, doc)
 	}
 	second := int(doc["id"].(float64))
-	code, doc = postJob(t, ts, tiny)
+	code, doc = postJob(t, ts, tiny2)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("third POST: HTTP %d (%v), want 429", code, doc)
 	}

@@ -20,6 +20,7 @@ import (
 type Multi struct {
 	mu      sync.Mutex
 	entries []multiEntry
+	extra   func(io.Writer) error
 }
 
 type multiEntry struct {
@@ -68,6 +69,18 @@ func (m *Multi) Unregister(key string) {
 	}
 }
 
+// SetExtra registers an auxiliary exposition writer appended after the
+// per-run metric families — the job service uses it for service-level
+// families (memo cache counters, registry retention gauges). The writer
+// must emit complete, well-formed family blocks of its own; it runs on
+// every scrape, even when no runs are registered, so service-level
+// series survive job deletion. A nil fn clears it.
+func (m *Multi) SetExtra(fn func(io.Writer) error) {
+	m.mu.Lock()
+	m.extra = fn
+	m.mu.Unlock()
+}
+
 // Len returns the number of registered instances.
 func (m *Multi) Len() int {
 	m.mu.Lock()
@@ -81,12 +94,21 @@ func (m *Multi) Len() int {
 func (m *Multi) WritePrometheus(w io.Writer) error {
 	m.mu.Lock()
 	entries := append([]multiEntry(nil), m.entries...)
+	extra := m.extra
 	m.mu.Unlock()
 	snaps := make([]promSnap, len(entries))
 	for i, e := range entries {
 		snaps[i] = e.t.snap(e.labels)
 	}
-	return writePromSnaps(w, snaps)
+	if err := writePromSnaps(w, snaps); err != nil {
+		return err
+	}
+	// The extra writer runs outside m.mu so it may call back into the
+	// aggregator (Len) without deadlocking.
+	if extra != nil {
+		return extra(w)
+	}
+	return nil
 }
 
 // Handler returns an http.Handler serving the aggregate exposition, for

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"regexp"
 	"strings"
 	"testing"
@@ -105,5 +107,46 @@ func TestMultiEmptyLabels(t *testing.T) {
 	mu := clock.ReplaceAllString(multi.String(), "ramr_run_duration_seconds X")
 	if s != mu {
 		t.Fatalf("label-free Multi output differs from single-run output:\n--- single\n%s\n--- multi\n%s", s, mu)
+	}
+}
+
+// TestMultiExtraWriter: the auxiliary exposition writer is appended after
+// the per-run families and keeps emitting when no runs are registered —
+// service-level series must survive job deletion.
+func TestMultiExtraWriter(t *testing.T) {
+	m := NewMulti()
+	m.SetExtra(func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "# HELP ramr_test_extra x\n# TYPE ramr_test_extra gauge\nramr_test_extra %d\n", m.Len())
+		return err
+	})
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ramr_test_extra 0") {
+		t.Fatalf("empty aggregator lost the extra families:\n%s", buf.String())
+	}
+
+	m.Register("1", map[string]string{"job": "1"}, newRun(t, 3, 1))
+	buf.Reset()
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ramr_test_extra 1") {
+		t.Fatalf("extra families missing with a registered run:\n%s", out)
+	}
+	if strings.Index(out, "ramr_worker_pairs_emitted_total") > strings.Index(out, "ramr_test_extra") {
+		t.Fatal("extra families emitted before the per-run families")
+	}
+
+	m.SetExtra(nil)
+	buf.Reset()
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ramr_test_extra") {
+		t.Fatal("cleared extra writer still emits")
 	}
 }

@@ -158,5 +158,21 @@ func (h *JobHandle[K, R]) Wait(ctx context.Context) (*Result[K, R], error) {
 func (h *JobHandle[K, R]) Status() JobStatus { return h.job.Status() }
 
 // Cancel stops the job: queued jobs never start, running jobs drain and
-// return a cancellation error.
+// return a cancellation error. Cancel is unconditional — it does not
+// consult the waiter count; callers sharing a handle across clients
+// should pair AddWaiter with DropWaiter instead.
 func (h *JobHandle[K, R]) Cancel() { h.job.Cancel() }
+
+// AddWaiter registers one more interested party on the job, for callers
+// that fan a single execution out to several clients (the job service's
+// admission dedup does this for coalesced submissions). Each AddWaiter
+// must be balanced by a DropWaiter or Cancel.
+func (h *JobHandle[K, R]) AddWaiter() { h.job.AddWaiter() }
+
+// DropWaiter detaches one waiter and cancels the job only when the last
+// waiter leaves while the job is still queued or running. It reports
+// whether this call actually cancelled the job.
+func (h *JobHandle[K, R]) DropWaiter() bool { return h.job.DropWaiter() }
+
+// Waiters returns the current waiter count (1 right after Submit).
+func (h *JobHandle[K, R]) Waiters() int { return h.job.Waiters() }
