@@ -36,6 +36,7 @@ import (
 	"ramr/internal/core"
 	"ramr/internal/memo"
 	"ramr/internal/mr"
+	"ramr/internal/obs"
 	"ramr/internal/spsc"
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
@@ -157,6 +158,12 @@ type TraceCollector = trace.Collector
 
 // NewTrace returns a collector ready to assign to Config.Trace.
 func NewTrace() *TraceCollector { return trace.New() }
+
+// JobTrace is a scheduled job's lifecycle trace: the scheduler-side
+// spans (queue wait, grant allocation) and the run's worker lanes under
+// one root span. Obtain it from JobHandle.Trace after the job finishes
+// and render with WriteChromeTrace (view at ui.perfetto.dev).
+type JobTrace = obs.Recorder
 
 // Telemetry is the live observability layer: assign one to
 // Config.Telemetry and the engines record per-worker counters and sample

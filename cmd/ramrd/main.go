@@ -5,15 +5,23 @@
 //
 // Quickstart:
 //
-//	ramrd -addr 127.0.0.1:8080 &
+//	ramrd -addr 127.0.0.1:8080 -log-format json &
 //	curl -s -X POST localhost:8080/jobs \
 //	     -d '{"workload":"WC","priority":"high"}'
 //	curl -s localhost:8080/jobs/1
 //	curl -s localhost:8080/jobs/1/result
+//	curl -s localhost:8080/jobs/1/trace   # Chrome-trace JSON (Perfetto)
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/debug/events
 //
-// On SIGINT/SIGTERM the daemon stops admission, waits for queued and
-// running jobs up to -drain-timeout, cancels stragglers, and exits 0.
+// Logs are structured (log/slog): text by default, JSON with
+// -log-format json. Job lines carry job_id and content_digest attrs, so
+// one grep correlates a submission across admission, scheduling and
+// completion.
+//
+// On SIGINT/SIGTERM the daemon stops admission (readiness /readyz flips
+// to 503), waits for queued and running jobs up to -drain-timeout,
+// cancels stragglers, and exits 0.
 package main
 
 import (
@@ -21,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +62,23 @@ func parseMachine(s string) (*topology.Machine, error) {
 	}
 }
 
+// newLogger builds the daemon's structured logger.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+	}
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
@@ -64,12 +89,25 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued and running jobs before cancelling")
 		cacheBytes   = flag.Int64("cache-max-bytes", 0, "result memo cache bound in bytes; repeat submissions of an identical job return the cached result with HTTP 200 (0 = 32 MiB default, negative disables)")
 		retain       = flag.Int("retain-finished", 0, "finished-job records kept in the registry before the oldest are evicted (0 = 128 default, negative retains all)")
+		eventLog     = flag.Int("event-log", 0, "bounded /debug/events ring capacity (0 = 512 default, negative disables)")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug includes per-transition scheduler lines)")
 	)
 	flag.Parse()
 
+	lg, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ramrd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		lg.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	m, err := parseMachine(*machine)
 	if err != nil {
-		log.Fatalf("ramrd: %v", err)
+		fatal("ramrd: invalid machine", "err", err)
 	}
 	svc, err := service.New(service.Config{
 		Machine:        m,
@@ -78,18 +116,21 @@ func main() {
 		Seed:           *seed,
 		CacheMaxBytes:  *cacheBytes,
 		RetainFinished: *retain,
+		EventLog:       *eventLog,
+		Logger:         lg,
 	})
 	if err != nil {
-		log.Fatalf("ramrd: %v", err)
+		fatal("ramrd: building service", "err", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("ramrd: listen: %v", err)
+		fatal("ramrd: listen", "addr", *addr, "err", err)
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	log.Printf("ramrd: serving on http://%s (machine %s, budget %d CPUs)",
-		ln.Addr(), m.Name, svc.Scheduler().Budget())
+	lg.Info("ramrd: serving", "url", "http://"+ln.Addr().String(),
+		"machine", m.Name, "budget_cpus", svc.Scheduler().Budget(),
+		"log_format", *logFormat)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -98,9 +139,9 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("ramrd: %v, draining (timeout %v)", sig, *drainTimeout)
+		lg.Info("ramrd: draining on signal", "signal", sig.String(), "timeout", *drainTimeout)
 	case err := <-errc:
-		log.Fatalf("ramrd: serve: %v", err)
+		fatal("ramrd: serve", "err", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -108,12 +149,12 @@ func main() {
 	// Stop accepting HTTP first, then drain the scheduler: queued jobs
 	// still run, stragglers past the deadline are cancelled but awaited.
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("ramrd: http shutdown: %v", err)
+		lg.Warn("ramrd: http shutdown", "err", err)
 	}
 	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ramrd: drain: %v", err)
+		lg.Warn("ramrd: drain", "err", err)
 	} else if err != nil {
-		log.Printf("ramrd: drain deadline hit, stragglers cancelled")
+		lg.Warn("ramrd: drain deadline hit, stragglers cancelled")
 	}
-	log.Printf("ramrd: bye")
+	lg.Info("ramrd: bye")
 }

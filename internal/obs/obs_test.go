@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"ramr/internal/trace"
+)
+
+// TestNilRecorderZeroAlloc pins the disabled-path contract: every method
+// of a nil *Recorder (and nil *Ring) must allocate nothing, so engine
+// and service hot paths can call unconditionally.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	var ring *Ring
+	var sink func()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = r.Span("x", nil)
+		sink()
+		r.SpanAt("x", time.Time{}, time.Time{}, nil)
+		r.Instant("x", nil)
+		r.InstantAt("x", time.Time{}, nil)
+		r.SetJob(1, "WC")
+		r.AttachEngine(nil)
+		r.Finish("done")
+		_ = r.Finished()
+		_ = r.Status()
+		ring.Append("x", 1, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestRecorderSpansSorted(t *testing.T) {
+	r := New("job")
+	base := r.Epoch()
+	r.SpanAt("late", base.Add(30*time.Millisecond), base.Add(40*time.Millisecond), nil)
+	r.SpanAt("early", base, base.Add(10*time.Millisecond), map[string]any{"k": 1})
+	r.SpanAt("mid", base.Add(10*time.Millisecond), base.Add(30*time.Millisecond), nil)
+	got := r.Spans()
+	want := []string{"early", "mid", "late"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("span %d = %q, want %q", i, got[i].Name, name)
+		}
+	}
+	if got[0].Args["k"] != 1 {
+		t.Fatalf("span args lost: %v", got[0].Args)
+	}
+}
+
+func TestRecorderFinishFirstWins(t *testing.T) {
+	r := New("job")
+	r.Finish("done")
+	r.Finish("canceled")
+	if got := r.Status(); got != "done" {
+		t.Fatalf("status = %q, want done (first Finish wins)", got)
+	}
+	if !r.Finished() {
+		t.Fatal("Finished() = false after Finish")
+	}
+}
+
+// decodeTrace parses a Chrome-trace export and returns the event maps.
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(buf, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	return events
+}
+
+// TestWriteChromeTrace checks the export contract the CI smoke also
+// validates: metadata first, then a monotonic timeline containing the
+// root span, lifecycle spans and stitched engine lanes.
+func TestWriteChromeTrace(t *testing.T) {
+	r := New("job")
+	r.SetJob(7, "WC")
+	end := r.Span("build", nil)
+	time.Sleep(time.Millisecond)
+	end()
+
+	col := trace.New()
+	sh := col.Shard("mapper-0")
+	done := sh.Span("task", map[string]any{"task": 0})
+	time.Sleep(time.Millisecond)
+	done()
+	r.AttachEngine(col)
+	r.Instant("memo-miss", nil)
+	r.Finish("done")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	lanes := map[string]bool{}
+	var names []string
+	lastTs := -1.0
+	metaDone := false
+	for _, e := range events {
+		ph := e["ph"].(string)
+		if ph == "M" {
+			if metaDone {
+				t.Fatal("metadata event after timeline events")
+			}
+			lanes[e["args"].(map[string]any)["name"].(string)] = true
+			continue
+		}
+		metaDone = true
+		ts := e["ts"].(float64)
+		if ts < lastTs {
+			t.Fatalf("timeline not monotonic: ts %v after %v", ts, lastTs)
+		}
+		lastTs = ts
+		names = append(names, e["name"].(string))
+	}
+	for _, lane := range []string{"lifecycle", "mapper-0"} {
+		if !lanes[lane] {
+			t.Fatalf("missing %s thread_name lane; lanes %v", lane, lanes)
+		}
+	}
+	want := map[string]bool{"job": false, "build": false, "task": false, "memo-miss": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("event %q missing from export; got %v", n, names)
+		}
+	}
+	// Root span carries the job identity and terminal status.
+	for _, e := range events {
+		if e["name"] == "job" && e["ph"] == "X" {
+			args := e["args"].(map[string]any)
+			if args["job_id"].(float64) != 7 || args["workload"] != "WC" || args["status"] != "done" {
+				t.Fatalf("root span args = %v", args)
+			}
+		}
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := New("job")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Span("s", nil)()
+				r.Instant("i", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+}
+
+func TestRingWrapsAndCounts(t *testing.T) {
+	ring := NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Append("k", i, nil)
+	}
+	events, total := ring.Snapshot()
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest-first)", i, e.Seq, want)
+		}
+		if e.Job != 6+i {
+			t.Fatalf("event %d job = %d, want %d", i, e.Job, 6+i)
+		}
+	}
+}
+
+func TestRingPartialAndDisabled(t *testing.T) {
+	ring := NewRing(8)
+	ring.Append("a", 1, map[string]any{"x": 1})
+	ring.Append("b", 2, nil)
+	events, total := ring.Snapshot()
+	if total != 2 || len(events) != 2 || events[0].Kind != "a" || events[1].Kind != "b" {
+		t.Fatalf("partial snapshot wrong: total=%d events=%v", total, events)
+	}
+	if ring.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", ring.Cap())
+	}
+	disabled := NewRing(0)
+	if disabled != nil {
+		t.Fatal("NewRing(0) should return nil (disabled)")
+	}
+	disabled.Append("x", 1, nil)
+	if ev, n := disabled.Snapshot(); ev != nil || n != 0 {
+		t.Fatalf("disabled ring snapshot = %v, %d", ev, n)
+	}
+}

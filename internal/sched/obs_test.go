@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAllocDurRecorded checks that a started job's status carries the
+// grant-allocation timing the observability layer turns into a span.
+func TestAllocDurRecorded(t *testing.T) {
+	sc, err := New(Config{Machine: testMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sc.Submit(JobSpec{Name: "alloc", Priority: PriorityNormal,
+		Run: func(ctx context.Context, grant []int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Status()
+	if st.AllocDur < 0 {
+		t.Fatalf("AllocDur = %v, want >= 0", st.AllocDur)
+	}
+	if st.Started.IsZero() || st.Started.Before(st.QueuedAt) {
+		t.Fatalf("Started %v inconsistent with QueuedAt %v", st.Started, st.QueuedAt)
+	}
+}
+
+// capturingHandler retains every slog record's message and attrs.
+type capturingHandler struct {
+	mu      sync.Mutex
+	records []map[string]any
+}
+
+func (h *capturingHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *capturingHandler) Handle(_ context.Context, r slog.Record) error {
+	m := map[string]any{"msg": r.Message}
+	r.Attrs(func(a slog.Attr) bool {
+		m[a.Key] = a.Value.Any()
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, m)
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *capturingHandler) WithAttrs(attrs []slog.Attr) slog.Handler { return h }
+func (h *capturingHandler) WithGroup(string) slog.Handler            { return h }
+
+func (h *capturingHandler) find(msg string) map[string]any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.records {
+		if r["msg"] == msg {
+			return r
+		}
+	}
+	return nil
+}
+
+// TestLoggerCorrelation checks every transition line carries job_id.
+func TestLoggerCorrelation(t *testing.T) {
+	h := &capturingHandler{}
+	sc, err := New(Config{Machine: testMachine(), Logger: slog.New(h)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sc.Submit(JobSpec{Name: "logged", Priority: PriorityHigh,
+		Run: func(ctx context.Context, grant []int) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range []string{"sched: job queued", "sched: job started", "sched: job finished"} {
+		rec := h.find(msg)
+		if rec == nil {
+			t.Fatalf("no %q log line; got %+v", msg, h.records)
+		}
+		if got, ok := rec["job_id"].(int64); !ok || int(got) != j.ID() {
+			t.Fatalf("%q line job_id = %v, want %d", msg, rec["job_id"], j.ID())
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -171,6 +172,21 @@ const (
 	EventCanceled
 )
 
+// String names the event kind for logs and event rings.
+func (k EventKind) String() string {
+	switch k {
+	case EventQueued:
+		return "queued"
+	case EventStarted:
+		return "started"
+	case EventFinished:
+		return "finished"
+	case EventCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
 // Event is a scheduler state transition, delivered to Config.Observer
 // while the scheduler lock is held — the observer sees a consistent
 // snapshot, and InUse <= Budget is an invariant tests assert on every
@@ -213,6 +229,12 @@ type Config struct {
 	// Observer, when non-nil, receives every scheduler transition under
 	// the scheduler lock. Test hook and telemetry tap.
 	Observer func(Event)
+	// Logger, when non-nil, receives a structured line per scheduler
+	// transition (queued/started/finished/canceled), each carrying a
+	// job_id attribute for correlation with the service tier's logs.
+	// Handlers are invoked under the scheduler lock and must not call
+	// back into the scheduler.
+	Logger *slog.Logger
 }
 
 // DefaultMaxQueued is the admission-queue bound when Config.MaxQueued
@@ -252,6 +274,7 @@ type Job struct {
 	queuedAt time.Time
 	started  time.Time
 	finished time.Time
+	allocDur time.Duration
 	err      error
 	metrics  map[string]float64
 }
@@ -267,6 +290,10 @@ type JobStatus struct {
 	QueuedAt time.Time
 	Started  time.Time
 	Finished time.Time
+	// AllocDur is the time allocateLocked spent carving the job's grant
+	// from the free set (zero until started) — the "grant allocation"
+	// cost the observability layer attributes separately from queue wait.
+	AllocDur time.Duration
 	// Err is the job's terminal error, nil while live or on success.
 	Err error
 	// Waiters is the job's current waiter count (the submitter plus
@@ -305,6 +332,7 @@ type Scheduler struct {
 	rank      map[int]int
 	maxQueued int
 	observer  func(Event)
+	log       *slog.Logger
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -343,6 +371,7 @@ func New(cfg Config) (*Scheduler, error) {
 		rank:      make(map[int]int, budget),
 		maxQueued: maxQueued,
 		observer:  cfg.Observer,
+		log:       cfg.Logger,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		free:      make(map[int]bool, budget),
 		running:   make(map[int]*Job),
@@ -431,6 +460,10 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	q := &s.classes[spec.Priority]
 	q.jobs = append(q.jobs, j)
 	s.emit(Event{Kind: EventQueued, JobID: j.id, Name: j.name, InUse: s.inUseLocked(), Queued: s.queuedLocked()})
+	if s.log != nil {
+		s.log.Debug("sched: job queued", "job_id", j.id, "name", j.name,
+			"priority", j.prio.String(), "queued", s.queuedLocked())
+	}
 	s.dispatchLocked()
 	return j, nil
 }
@@ -638,7 +671,9 @@ func (s *Scheduler) startLocked(j *Job) {
 	if free := len(s.free); want > free {
 		want = free
 	}
+	allocStart := time.Now()
 	grant := s.allocateLocked(want)
+	j.allocDur = time.Since(allocStart)
 	q := &s.classes[j.prio]
 	for i, qj := range q.jobs {
 		if qj == j {
@@ -655,6 +690,10 @@ func (s *Scheduler) startLocked(j *Job) {
 	j.started = time.Now()
 	s.running[j.id] = j
 	s.emit(Event{Kind: EventStarted, JobID: j.id, Name: j.name, Grant: grant, InUse: s.inUseLocked(), Queued: s.queuedLocked()})
+	if s.log != nil {
+		s.log.Debug("sched: job started", "job_id", j.id, "name", j.name,
+			"grant", len(grant), "queue_wait", j.started.Sub(j.queuedAt), "alloc", j.allocDur)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -707,6 +746,10 @@ func (s *Scheduler) finish(j *Job, err error, metrics map[string]float64) {
 	j.cancel()
 	close(j.done)
 	s.emit(Event{Kind: EventFinished, JobID: j.id, Name: j.name, Grant: j.grant, InUse: s.inUseLocked(), Queued: s.queuedLocked(), Metrics: j.metrics})
+	if s.log != nil {
+		s.log.Debug("sched: job finished", "job_id", j.id, "name", j.name,
+			"wall", j.finished.Sub(j.started), "err", err)
+	}
 	s.dispatchLocked()
 }
 
@@ -732,6 +775,9 @@ func (s *Scheduler) removeQueuedLocked(j *Job, cause error) {
 	j.cancel()
 	close(j.done)
 	s.emit(Event{Kind: EventCanceled, JobID: j.id, Name: j.name, InUse: s.inUseLocked(), Queued: s.queuedLocked()})
+	if s.log != nil {
+		s.log.Debug("sched: job canceled", "job_id", j.id, "name", j.name, "cause", cause)
+	}
 }
 
 // allocateLocked carves want CPUs from the free set, preferring to drain
@@ -872,6 +918,7 @@ func (j *Job) Status() JobStatus {
 		QueuedAt: j.queuedAt,
 		Started:  j.started,
 		Finished: j.finished,
+		AllocDur: j.allocDur,
 		Err:      j.err,
 		Waiters:  j.waiters,
 		Metrics:  copyMetrics(j.metrics),

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -103,8 +104,11 @@ func TestMemoHitDeterministic(t *testing.T) {
 		if hit["cached"] != true {
 			t.Fatalf("[%s] repeat POST not marked cached: %v", engine, hit)
 		}
-		if got := int(hit["id"].(float64)); got != id {
-			t.Fatalf("[%s] cache hit names job %d, executed job was %d", engine, got, id)
+		if got := int(hit["executed_by"].(float64)); got != id {
+			t.Fatalf("[%s] cache hit names executor %d, executed job was %d", engine, got, id)
+		}
+		if got := int(hit["id"].(float64)); got == id {
+			t.Fatalf("[%s] cache hit reused the executor's id %d; want its own record", engine, got)
 		}
 		if got, _ := hit["digest"].(string); got != wantOut {
 			t.Fatalf("[%s] cached output digest %q != executed %q", engine, got, wantOut)
@@ -382,7 +386,7 @@ func TestRetentionBound(t *testing.T) {
 // with a truncated body.
 func TestWriteJSONEncodeError(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
+	writeJSON(rec, slog.New(slog.DiscardHandler), http.StatusOK, map[string]any{"bad": math.NaN()})
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("HTTP %d, want 500", rec.Code)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"ramr/internal/container"
 	"ramr/internal/mr"
+	"ramr/internal/obs"
 	"ramr/internal/sched"
 	"ramr/internal/synth"
 	"ramr/internal/topology"
@@ -50,6 +51,9 @@ type JobRequest struct {
 	// Parsed during validation.
 	engine   workloads.Engine
 	priority sched.Priority
+	// rec, when set by the HTTP layer, is the lifecycle recorder the
+	// submission's spans land in; Submit creates one when nil.
+	rec *obs.Recorder
 }
 
 // ConfigOverlay is the subset of mr.Config settable over the API.

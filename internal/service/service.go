@@ -3,6 +3,13 @@
 // fetch results and cancel jobs, plus one shared Prometheus endpoint
 // aggregating every job's live telemetry under per-job labels. The ramrd
 // daemon (cmd/ramrd) is a thin flag-parsing wrapper around this package.
+//
+// Every submission carries a lifecycle trace (internal/obs): receive,
+// build/digest, memo outcome, queue wait, grant allocation and the
+// engine's phase and worker spans, retrievable as Chrome-trace JSON at
+// GET /jobs/{id}/trace. Scheduler transitions and memo outcomes also
+// land in a bounded ring (GET /debug/events), and job latencies feed the
+// ramr_job_* Prometheus histograms. See DESIGN.md §13.
 package service
 
 import (
@@ -12,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -21,9 +30,11 @@ import (
 
 	"ramr/internal/memo"
 	"ramr/internal/mr"
+	"ramr/internal/obs"
 	"ramr/internal/sched"
 	"ramr/internal/telemetry"
 	"ramr/internal/topology"
+	"ramr/internal/trace"
 	"ramr/internal/workloads"
 )
 
@@ -33,6 +44,10 @@ import (
 // evicted — the registry shares the memo cache's bounded-retention
 // discipline, so a long-lived daemon's memory stays flat.
 const DefaultRetainFinished = 128
+
+// DefaultEventLog bounds the /debug/events ring when Config.EventLog
+// is 0.
+const DefaultEventLog = 512
 
 // Config parameterizes a Service.
 type Config struct {
@@ -53,6 +68,41 @@ type Config struct {
 	// 0 selects DefaultRetainFinished, negative retains everything (the
 	// pre-memo leaky behaviour, for tests only).
 	RetainFinished int
+	// Logger receives the service's structured log lines, each tagged
+	// with job_id/content_digest correlation attributes where a job is
+	// in scope. nil disables logging (a discard handler) — embedders
+	// like cmd/ramrd pass their own.
+	Logger *slog.Logger
+	// EventLog bounds the /debug/events ring buffer: 0 selects
+	// DefaultEventLog, negative disables the event log.
+	EventLog int
+}
+
+// lifecycleHists are the service-lifetime latency histograms exposed on
+// /metrics. They record per-job lifecycle observations — a handful per
+// job, labelled workload/engine/priority — and are never unregistered,
+// so latency distributions survive job retention and deletion.
+type lifecycleHists struct {
+	e2e       *telemetry.HistogramVec
+	queueWait *telemetry.HistogramVec
+	alloc     *telemetry.HistogramVec
+	phase     *telemetry.HistogramVec
+}
+
+func newLifecycleHists() *lifecycleHists {
+	labels := []string{"workload", "engine", "priority"}
+	return &lifecycleHists{
+		e2e: telemetry.NewHistogramVec("ramr_job_e2e_seconds",
+			"End-to-end job latency from HTTP receive to terminal state (memo hits included).",
+			labels, nil),
+		queueWait: telemetry.NewHistogramVec("ramr_job_queue_wait_seconds",
+			"Time a job spent admitted but not yet granted CPUs.", labels, nil),
+		alloc: telemetry.NewHistogramVec("ramr_job_grant_alloc_seconds",
+			"Time the scheduler spent carving the job's CPU grant.", labels, nil),
+		phase: telemetry.NewHistogramVec("ramr_job_phase_seconds",
+			"Engine phase durations of finished jobs.",
+			[]string{"workload", "engine", "priority", "phase"}, nil),
+	}
 }
 
 // Service owns a scheduler, the job registry, the shared telemetry
@@ -63,6 +113,10 @@ type Service struct {
 	multi   *telemetry.Multi
 	cache   *memo.Cache
 	retain  int
+	log     *slog.Logger
+	ring    *obs.Ring
+	hist    *lifecycleHists
+	start   time.Time
 
 	mu       sync.Mutex
 	entries  map[int]*entry
@@ -76,18 +130,31 @@ type Service struct {
 // itself. A coalesced duplicate submission gets a follower entry: its
 // own id, but the leader's sched.Job (one waiter reference each) and the
 // leader's RunInfo — it observes the leader's completion, error and
-// cancellation.
+// cancellation. A memo hit gets a jobless record (job == nil): its own
+// id, a short hit-only trace, and execBy naming the executor.
 type entry struct {
 	id       int
 	workload string
 	engine   workloads.Engine
-	job      *sched.Job
-	telem    *telemetry.Telemetry // nil for followers
+	job      *sched.Job // nil for memo-hit records
+	telem    *telemetry.Telemetry // nil for followers and hits
 	digest   string               // canonical content digest (hex)
 	leader   *entry               // non-nil marks a follower
+	rec      *obs.Recorder        // lifecycle trace, set on every entry
+	execBy   int                  // memo hits: id of the executing job
+	hitAt    time.Time            // memo hits: terminal timestamp
 
 	mu   sync.Mutex
 	info *workloads.RunInfo
+}
+
+// jobStatus snapshots the entry's scheduler state; memo-hit records have
+// no sched.Job and synthesize a settled terminal status.
+func (e *entry) jobStatus() sched.JobStatus {
+	if e.job != nil {
+		return e.job.Status()
+	}
+	return sched.JobStatus{ID: e.id, State: sched.StateDone, Finished: e.hitAt}
 }
 
 // runInfo returns the entry's retained result, reading through to the
@@ -147,11 +214,23 @@ func New(cfg Config) (*Service, error) {
 	if retain == 0 {
 		retain = DefaultRetainFinished
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	evCap := cfg.EventLog
+	if evCap == 0 {
+		evCap = DefaultEventLog
+	}
 	s := &Service{
 		machine:  m,
 		multi:    telemetry.NewMulti(),
 		cache:    memo.NewCache(cfg.CacheMaxBytes),
 		retain:   retain,
+		log:      logger,
+		ring:     obs.NewRing(evCap),
+		hist:     newLifecycleHists(),
+		start:    time.Now(),
 		entries:  make(map[int]*entry),
 		inflight: make(map[string]*entry),
 	}
@@ -160,7 +239,17 @@ func New(cfg Config) (*Service, error) {
 		Budget:    cfg.Budget,
 		MaxQueued: cfg.MaxQueued,
 		Seed:      cfg.Seed,
-		Observer:  cfg.Observer,
+		Logger:    cfg.Logger,
+		// Scheduler transitions feed the bounded event log before the
+		// embedder's observer; the ring has its own lock and never calls
+		// back, so appending under the scheduler lock is safe.
+		Observer: func(ev sched.Event) {
+			s.ring.Append("sched_"+ev.Kind.String(), ev.JobID,
+				map[string]any{"in_use": ev.InUse, "queued": ev.Queued})
+			if cfg.Observer != nil {
+				cfg.Observer(ev)
+			}
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -179,20 +268,33 @@ func (s *Service) Multi() *telemetry.Multi { return s.multi }
 // Cache exposes the result memo cache (tests and embedders).
 func (s *Service) Cache() *memo.Cache { return s.cache }
 
+// jobLog returns the service logger with the entry's correlation
+// attributes attached.
+func (s *Service) jobLog(e *entry) *slog.Logger {
+	return s.log.With("job_id", e.id, "content_digest", e.digest)
+}
+
 // Submit admits one parsed job request. It is the programmatic core of
 // POST /jobs; the HTTP handler only decodes JSON around it.
 //
 // Identical submissions are served without recomputation: the request's
 // canonical content digest (workload + input parameters + engine +
 // config overlay + seed — scheduling hints excluded) is looked up in the
-// memo cache first, and a hit returns the finished result instantly with
-// Cached set — no scheduler admission, no CPU grant, so saturated queues
-// drain under repeat traffic. A concurrent identical submission
-// coalesces onto the in-flight leader instead: the follower gets its own
-// job id and record but attaches a waiter to the leader's execution,
-// observing its completion, error or cancellation.
+// memo cache first, and a hit mints a jobless terminal record instantly
+// with Cached set and ExecutedBy naming the original executor — no
+// scheduler admission, no CPU grant, so saturated queues drain under
+// repeat traffic. A concurrent identical submission coalesces onto the
+// in-flight leader instead: the follower gets its own job id and record
+// but attaches a waiter to the leader's execution, observing its
+// completion, error or cancellation.
 func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
+	rec := req.rec
+	if rec == nil {
+		rec = obs.New("job")
+	}
+	endBuild := rec.Span("build", nil)
 	job, cfg, digest, err := buildJob(req, s.machine)
+	endBuild()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
@@ -203,8 +305,7 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 		return nil, sched.ErrDraining
 	}
 	if v, ok := s.cache.Get(digest); ok {
-		doc := cachedDoc(v.(*cachedRun), digest)
-		return &doc, nil
+		return s.memoHitLocked(req, v.(*cachedRun), digest, rec), nil
 	}
 	if leader, ok := s.inflight[digest]; ok {
 		leader.job.AddWaiter()
@@ -215,9 +316,15 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 			job:      leader.job,
 			digest:   digest,
 			leader:   leader,
+			rec:      rec,
 		}
+		rec.SetJob(f.id, f.workload)
+		rec.Instant("coalesced", map[string]any{"leader": leader.id})
 		s.entries[f.id] = f
 		s.cache.NoteCoalesced()
+		s.ring.Append("coalesced", f.id, map[string]any{"leader": leader.id})
+		s.jobLog(f).Info("job coalesced onto in-flight leader", "leader_id", leader.id)
+		go s.watchFollower(f, req.priority.String())
 		doc := resultDoc{entryStatus: s.statusLocked(f)}
 		return &doc, nil
 	}
@@ -227,6 +334,7 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 		engine:   req.engine,
 		telem:    telemetry.New(),
 		digest:   digest,
+		rec:      rec,
 	}
 	cfg.Telemetry = e.telem
 	sj, err := s.sch.Submit(sched.JobSpec{
@@ -243,7 +351,19 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 			if req.Config.Combiners > 0 {
 				c.Combiners = req.Config.Combiners
 			}
+			// Worker-lane tracing for this run, stitched under the
+			// lifecycle root at export time.
+			col := trace.New()
+			c.Trace = col
+			rec.AttachEngine(col)
+			execStart := time.Now()
 			info, err := job.RunCtx(ctx, req.engine, c)
+			execEnd := time.Now()
+			rec.SpanAt("execute", execStart, execEnd,
+				map[string]any{"cpus": append([]int(nil), grant...)})
+			if info != nil {
+				recordRunDetail(rec, execStart, execEnd, info)
+			}
 			e.mu.Lock()
 			e.info = info
 			e.mu.Unlock()
@@ -256,29 +376,172 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 	}
 	e.id = sj.ID()
 	e.job = sj
+	rec.SetJob(e.id, e.workload)
 	s.entries[e.id] = e
 	s.inflight[digest] = e
 	s.multi.Register(strconv.Itoa(e.id), map[string]string{
 		"job": strconv.Itoa(e.id),
 		"app": e.workload,
 	}, e.telem)
+	s.jobLog(e).Info("job admitted", "workload", e.workload,
+		"priority", req.priority.String(), "engine", e.engine.String())
 	go s.watch(e)
 	doc := resultDoc{entryStatus: s.statusLocked(e)}
 	return &doc, nil
 }
 
-// watch settles a leader's memoization once its job reaches a terminal
-// state: the in-flight slot is released and — atomically with it, under
-// s.mu, so a racing submission either coalesces or hits the cache but
-// never re-executes — a successful result is inserted into the memo
-// cache, byte-accounted by its JSON-encoded size. Failed and cancelled
-// runs are never cached: the next identical submission re-executes.
+// memoHitLocked answers a submission from the memo cache: a jobless
+// terminal record with its own id (so its short hit-only trace stays
+// retrievable at /jobs/{id}/trace) whose ExecutedBy names the job that
+// actually computed the result. Callers hold s.mu.
+func (s *Service) memoHitLocked(req *JobRequest, cv *cachedRun, digest string, rec *obs.Recorder) *resultDoc {
+	e := &entry{
+		id:       s.sch.ReserveID(),
+		workload: cv.workload,
+		engine:   req.engine,
+		digest:   digest,
+		rec:      rec,
+		execBy:   cv.jobID,
+		hitAt:    time.Now(),
+		info:     cv.info,
+	}
+	rec.SetJob(e.id, e.workload)
+	rec.Instant("memo-hit", map[string]any{"executed_by": cv.jobID})
+	rec.Finish("cached")
+	s.entries[e.id] = e
+	s.ring.Append("memo_hit", e.id, map[string]any{"executed_by": cv.jobID})
+	s.jobLog(e).Info("job served from memo cache", "executed_by", cv.jobID)
+	s.hist.e2e.Observe(time.Since(rec.Epoch()).Seconds(),
+		e.workload, e.engine.String(), req.priority.String())
+	s.retireLocked()
+	doc := resultDoc{entryStatus: s.statusLocked(e)}
+	doc.fillDetail(cv.info)
+	return &doc
+}
+
+// recordRunDetail turns the finished run's measurements into trace
+// events: the sequential engine phases laid end-to-end from the
+// execution start, plus tuner and steal summaries as instants.
+func recordRunDetail(rec *obs.Recorder, start, end time.Time, info *workloads.RunInfo) {
+	t := start
+	for _, p := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"phase:init", info.Phases.Init},
+		{"phase:partition", info.Phases.Partition},
+		{"phase:map-combine", info.Phases.MapCombine},
+		{"phase:reduce", info.Phases.Reduce},
+		{"phase:merge", info.Phases.Merge},
+	} {
+		if p.d <= 0 {
+			continue
+		}
+		rec.SpanAt(p.name, t, t.Add(p.d), nil)
+		t = t.Add(p.d)
+	}
+	if info.Tuner != nil {
+		rec.InstantAt("tuner-decisions", end, map[string]any{"epochs": len(info.Tuner.Epochs)})
+	}
+	if st := info.Steal; st.LocalTasks+st.SocketTasks+st.RemoteTasks > 0 {
+		rec.InstantAt("steal-summary", end, map[string]any{
+			"local":           st.LocalTasks,
+			"socket":          st.SocketTasks,
+			"remote":          st.RemoteTasks,
+			"remote_executed": st.RemoteExecuted,
+		})
+	}
+}
+
+// terminalStatus maps a settled job to the trace's root-span status.
+func terminalStatus(st sched.JobStatus) string {
+	switch {
+	case st.State == sched.StateCanceled:
+		return "canceled"
+	case st.Err != nil:
+		return "error"
+	default:
+		return "done"
+	}
+}
+
+// finishTrace derives the scheduler-side spans from the job's settled
+// timestamps — queue wait between admission and start, grant allocation
+// just before the start with the CPU set and its locality groups as
+// args — and closes the root span. Recording at completion rather than
+// from the scheduler observer keeps the observer reentrancy-free and
+// covers each interval exactly.
+func (s *Service) finishTrace(e *entry, st sched.JobStatus) string {
+	if !st.Started.IsZero() {
+		e.rec.SpanAt("queue-wait", st.QueuedAt, st.Started, nil)
+		e.rec.SpanAt("grant-alloc", st.Started.Add(-st.AllocDur), st.Started, map[string]any{
+			"cpus":   st.Grant,
+			"groups": localityGroups(s.machine, st.Grant),
+		})
+	}
+	status := terminalStatus(st)
+	e.rec.Finish(status)
+	return status
+}
+
+// localityGroups returns the distinct topology groups a CPU set spans.
+func localityGroups(m *topology.Machine, cpus []int) []int {
+	seen := map[int]bool{}
+	var groups []int
+	for _, id := range cpus {
+		g, ok := m.GroupOf(id)
+		if !ok {
+			g = 0
+		}
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	sort.Ints(groups)
+	return groups
+}
+
+// observeLifecycle feeds the latency histograms from a settled job.
+func (s *Service) observeLifecycle(e *entry, st sched.JobStatus, info *workloads.RunInfo, priority string) {
+	labels := []string{e.workload, e.engine.String(), priority}
+	s.hist.e2e.Observe(st.Finished.Sub(e.rec.Epoch()).Seconds(), labels...)
+	if !st.Started.IsZero() {
+		s.hist.queueWait.Observe(st.Started.Sub(st.QueuedAt).Seconds(), labels...)
+		s.hist.alloc.Observe(st.AllocDur.Seconds(), labels...)
+	}
+	if info != nil {
+		for phase, secs := range info.Phases.SecondsByPhase() {
+			s.hist.phase.Observe(secs, e.workload, e.engine.String(), priority, phase)
+		}
+	}
+}
+
+// watch settles a leader once its job reaches a terminal state: the
+// trace is finished, histograms observe the settled timings, and the
+// in-flight slot is released while — atomically with it, under s.mu, so
+// a racing submission either coalesces or hits the cache but never
+// re-executes — a successful result is inserted into the memo cache,
+// byte-accounted by its JSON-encoded size. Failed and cancelled runs are
+// never cached: the next identical submission re-executes.
 func (s *Service) watch(e *entry) {
 	_ = e.job.Wait(context.Background())
 	st := e.job.Status()
 	e.mu.Lock()
 	info := e.info
 	e.mu.Unlock()
+
+	status := s.finishTrace(e, st)
+	s.observeLifecycle(e, st, info, st.Priority.String())
+	lg := s.jobLog(e).With("state", status)
+	if !st.Started.IsZero() {
+		lg = lg.With("wall", st.Finished.Sub(st.Started), "queue_wait", st.Started.Sub(st.QueuedAt))
+	}
+	if st.Err != nil {
+		lg.Warn("job finished with error", "err", st.Err)
+	} else {
+		lg.Info("job finished")
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -293,6 +556,20 @@ func (s *Service) watch(e *entry) {
 		}, resultSize(info))
 	}
 	s.retireLocked()
+}
+
+// watchFollower settles a coalesced follower's trace and end-to-end
+// latency once the shared execution completes. Queue-wait, grant and
+// phase spans belong to the leader's trace; the follower's short trace
+// records the coalesce decision and the terminal outcome.
+func (s *Service) watchFollower(f *entry, priority string) {
+	_ = f.job.Wait(context.Background())
+	st := f.job.Status()
+	status := terminalStatus(st)
+	f.rec.Finish(status)
+	s.hist.e2e.Observe(st.Finished.Sub(f.rec.Epoch()).Seconds(),
+		f.workload, f.engine.String(), priority)
+	s.jobLog(f).Info("coalesced job settled", "state", status, "leader_id", f.leader.id)
 }
 
 // resultSize estimates a retained result's memory footprint as its JSON
@@ -320,7 +597,7 @@ func (s *Service) retireLocked() {
 	}
 	var done []finished
 	for _, e := range s.entries {
-		js := e.job.Status()
+		js := e.jobStatus()
 		if js.State == sched.StateDone || js.State == sched.StateCanceled {
 			done = append(done, finished{e, js.Finished})
 		}
@@ -348,31 +625,16 @@ func (s *Service) removeEntryLocked(e *entry) {
 	}
 }
 
-// cachedDoc renders a memo hit as a finished result document.
-func cachedDoc(cv *cachedRun, digest string) resultDoc {
-	st := entryStatus{
-		ID:            cv.jobID,
-		Workload:      cv.workload,
-		Engine:        cv.engine,
-		State:         sched.StateDone.String(),
-		Finished:      fmtTime(cv.finished),
-		Cached:        true,
-		ContentDigest: digest,
-	}
-	fillResult(&st, cv.info)
-	doc := resultDoc{entryStatus: st}
-	doc.fillDetail(cv.info)
-	return doc
-}
-
 // Shutdown stops admission and drains the scheduler: queued jobs still
 // run, running jobs finish, and anything unfinished at ctx's deadline is
 // cancelled (but its goroutine is awaited). Results of jobs that did
-// finish remain retrievable from the registry afterwards.
+// finish remain retrievable from the registry afterwards. /readyz
+// reports 503 from the moment Shutdown is called.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.log.Info("service draining")
 	return s.sch.Drain(ctx)
 }
 
@@ -407,9 +669,12 @@ type entryStatus struct {
 	// same result.
 	ContentDigest string `json:"content_digest,omitempty"`
 	// Cached marks a submission answered from the memo cache without a
-	// scheduler admission; ID then names the job that originally
-	// executed the computation.
+	// scheduler admission. The record keeps its own ID (its hit-only
+	// trace lives at /jobs/{id}/trace); ExecutedBy names the job that
+	// originally executed the computation.
 	Cached bool `json:"cached,omitempty"`
+	// ExecutedBy is set on cached records: the id of the executing job.
+	ExecutedBy int `json:"executed_by,omitempty"`
 	// Coalesced marks a follower record: this submission attached to an
 	// identical in-flight execution instead of starting its own.
 	Coalesced bool `json:"coalesced,omitempty"`
@@ -477,22 +742,26 @@ func fmtTime(t time.Time) string {
 
 // statusLocked renders e's status; callers hold s.mu. A follower entry
 // reports its own id but the shared execution's state, timings and
-// result.
+// result; a memo-hit record reports a settled terminal state.
 func (s *Service) statusLocked(e *entry) entryStatus {
-	js := e.job.Status()
+	js := e.jobStatus()
 	st := entryStatus{
 		ID:            e.id,
 		Workload:      e.workload,
 		Engine:        e.engine.String(),
-		Priority:      js.Priority.String(),
 		State:         js.State.String(),
 		Grant:         js.Grant,
 		QueuedAt:      fmtTime(js.QueuedAt),
 		Started:       fmtTime(js.Started),
 		Finished:      fmtTime(js.Finished),
 		ContentDigest: e.digest,
+		Cached:        e.job == nil,
+		ExecutedBy:    e.execBy,
 		Coalesced:     e.leader != nil,
 		Waiters:       js.Waiters,
+	}
+	if e.job != nil {
+		st.Priority = js.Priority.String()
 	}
 	if js.Err != nil {
 		st.Error = js.Err.Error()
@@ -507,34 +776,56 @@ func (s *Service) statusLocked(e *entry) entryStatus {
 //	GET    /jobs             list all retained jobs
 //	GET    /jobs/{id}        status: state, grant, phase times, queue stats
 //	GET    /jobs/{id}/result full result incl. telemetry and tuner reports
+//	GET    /jobs/{id}/trace  lifecycle + worker-lane Chrome-trace JSON
 //	DELETE /jobs/{id}        cancel (queued or running)
-//	GET    /stats            scheduler occupancy and lifetime counters
+//	GET    /stats            scheduler occupancy, memo, runtime sections
 //	GET    /metrics          aggregated Prometheus exposition, per-job labels
+//	GET    /debug/events     bounded ring of scheduler/memo events
 //	GET    /healthz          liveness
+//	GET    /readyz           readiness (503 while draining)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.multi.Handler())
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady is the readiness probe: 503 from the moment Shutdown
+// starts draining, so load balancers stop routing before the listener
+// closes (the liveness probe /healthz keeps answering 200 throughout).
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
 }
 
 // writeJSON encodes v fully before touching the ResponseWriter: a
 // marshal failure becomes a logged 500 instead of a silently truncated
-// body half-written after a success header.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// body half-written after a success header. lg carries the caller's
+// correlation attributes (job_id, content_digest) so the error lines
+// stay attributable.
+func writeJSON(w http.ResponseWriter, lg *slog.Logger, code int, v any) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("service: encoding %T response: %v", v, err)
+		lg.Error("service: encoding response", "type", fmt.Sprintf("%T", v), "err", err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		io.WriteString(w, `{"error":"internal: response encoding failed"}`+"\n")
@@ -545,37 +836,45 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	if _, err := buf.WriteTo(w); err != nil {
 		// The body was fully rendered; a short write here is the
 		// client hanging up, which is only worth a log line.
-		log.Printf("service: writing response: %v", err)
+		lg.Warn("service: writing response", "err", err)
 	}
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func writeErr(w http.ResponseWriter, lg *slog.Logger, code int, err error) {
+	writeJSON(w, lg, code, map[string]string{"error": err.Error()})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The recorder's epoch is the HTTP receive; the decode rides in the
+	// root span's opening "receive" segment.
+	rec := obs.New("job")
+	endReceive := rec.Span("receive", nil)
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	err := dec.Decode(&req)
+	endReceive()
+	if err != nil {
+		writeErr(w, s.log, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	req.rec = rec
 	doc, err := s.Submit(&req)
 	switch {
 	case err == nil && doc.Cached:
-		// Served from the memo cache: no new job record was created, so
-		// 200 with the finished result, not 201 with a Location.
-		writeJSON(w, http.StatusOK, doc)
+		// Served from the memo cache: no execution was started, so 200
+		// with the finished result, not 201 with a Location.
+		writeJSON(w, s.log.With("job_id", doc.ID), http.StatusOK, doc)
 	case err == nil:
 		w.Header().Set("Location", "/jobs/"+strconv.Itoa(doc.ID))
-		writeJSON(w, http.StatusCreated, doc)
+		writeJSON(w, s.log.With("job_id", doc.ID), http.StatusCreated, doc)
 	case errors.Is(err, sched.ErrSaturated):
-		writeErr(w, http.StatusTooManyRequests, err)
+		s.log.Warn("job rejected: queue saturated", "workload", req.Workload)
+		writeErr(w, s.log, http.StatusTooManyRequests, err)
 	case errors.Is(err, sched.ErrDraining):
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, s.log, http.StatusServiceUnavailable, err)
 	default:
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, s.log, http.StatusBadRequest, err)
 	}
 }
 
@@ -593,7 +892,7 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sortByID(out, func(e entryStatus) int { return e.ID })
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	writeJSON(w, s.log, http.StatusOK, map[string]any{"jobs": out})
 }
 
 func (s *Service) lookup(r *http.Request) (*entry, error) {
@@ -613,40 +912,73 @@ func (s *Service) lookup(r *http.Request) (*entry, error) {
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, s.log, http.StatusNotFound, err)
 		return
 	}
 	s.mu.Lock()
 	st := s.statusLocked(e)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, s.jobLog(e), http.StatusOK, st)
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, s.log, http.StatusNotFound, err)
 		return
 	}
 	s.mu.Lock()
 	st := s.statusLocked(e)
 	s.mu.Unlock()
 	if st.State == "queued" || st.State == "running" {
-		writeJSON(w, http.StatusAccepted, st)
+		writeJSON(w, s.jobLog(e), http.StatusAccepted, st)
 		return
 	}
 	doc := resultDoc{entryStatus: st}
 	doc.fillDetail(e.runInfo())
-	writeJSON(w, http.StatusOK, doc)
+	writeJSON(w, s.jobLog(e), http.StatusOK, doc)
+}
+
+// handleTrace serves the job's lifecycle trace as Chrome trace-event
+// JSON (load at ui.perfetto.dev): root span, service-tier spans, and the
+// run's worker lanes stitched below. Live jobs serve the spans recorded
+// so far; terminal jobs serve the full tree.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	e, err := s.lookup(r)
+	if err != nil {
+		writeErr(w, s.log, http.StatusNotFound, err)
+		return
+	}
+	if e.rec == nil {
+		writeErr(w, s.jobLog(e), http.StatusNotFound, fmt.Errorf("no trace recorded for job %d", e.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := e.rec.WriteChromeTrace(w); err != nil {
+		s.jobLog(e).Warn("service: writing trace", "err", err)
+	}
+}
+
+// handleEvents serves the bounded event log: scheduler transitions, memo
+// hits and coalesces, oldest first. dropped counts events overwritten by
+// the ring bound.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, total := s.ring.Snapshot()
+	writeJSON(w, s.log, http.StatusOK, map[string]any{
+		"capacity": s.ring.Cap(),
+		"total":    total,
+		"dropped":  total - uint64(len(events)),
+		"events":   events,
+	})
 }
 
 // handleCancel implements DELETE /jobs/{id} with waiter-aware
 // semantics:
 //
-//   - finished (done/canceled) job: nothing to cancel — the retained
-//     record and its telemetry registration are removed, and 409
-//     Conflict reports the terminal state so the client can tell a real
-//     cancellation from this no-op (204 used to lie here).
+//   - finished (done/canceled) job or memo-hit record: nothing to cancel
+//     — the retained record and its telemetry registration are removed,
+//     and 409 Conflict reports the terminal state so the client can tell
+//     a real cancellation from this no-op (204 used to lie here).
 //   - live job with other waiters attached (coalesced duplicates): this
 //     record detaches and is removed; the shared execution keeps running
 //     for the remaining waiters. 204.
@@ -656,15 +988,16 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	e, err := s.lookup(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, s.log, http.StatusNotFound, err)
 		return
 	}
-	js := e.job.Status()
+	js := e.jobStatus()
 	if js.State == sched.StateDone || js.State == sched.StateCanceled {
 		s.mu.Lock()
 		s.removeEntryLocked(e)
 		s.mu.Unlock()
-		writeJSON(w, http.StatusConflict, map[string]string{
+		s.jobLog(e).Info("retained record deleted", "state", js.State.String())
+		writeJSON(w, s.jobLog(e), http.StatusConflict, map[string]string{
 			"error": fmt.Sprintf("job %d already %s; retained record deleted", e.id, js.State),
 			"state": js.State.String(),
 		})
@@ -677,6 +1010,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.removeEntryLocked(e)
 		s.mu.Unlock()
 	}
+	s.jobLog(e).Info("job cancel requested")
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -711,12 +1045,52 @@ func (s *Service) memoStatsDoc() memoStats {
 	}
 }
 
+// runtimeStats is the /stats process-health section.
+type runtimeStats struct {
+	Version        string  `json:"version"`
+	GoVersion      string  `json:"go_version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	GCCycles       uint32  `json:"gc_cycles"`
+}
+
+// buildInfo reads the binary's module version and Go toolchain once.
+var buildInfo = sync.OnceValues(func() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			version = v
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+})
+
+func (s *Service) runtimeStatsDoc() runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	v, gv := buildInfo()
+	return runtimeStats{
+		Version:        v,
+		GoVersion:      gv,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCCycles:       ms.NumGC,
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sch.Stats()
 	s.mu.Lock()
 	jobs := make([]jobStats, 0, len(s.entries))
 	for _, e := range s.entries {
-		js := jobStats{ID: e.id, Workload: e.workload, State: e.job.Status().State.String()}
+		js := jobStats{ID: e.id, Workload: e.workload, State: e.jobStatus().State.String()}
 		if info := e.runInfo(); info != nil {
 			steal := info.Steal
 			js.Steal = &steal
@@ -728,15 +1102,22 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sortByID(jobs, func(j jobStats) int { return j.ID })
-	writeJSON(w, http.StatusOK, map[string]any{"scheduler": st, "memo": s.memoStatsDoc(), "jobs": jobs})
+	writeJSON(w, s.log, http.StatusOK, map[string]any{
+		"scheduler": st,
+		"memo":      s.memoStatsDoc(),
+		"runtime":   s.runtimeStatsDoc(),
+		"jobs":      jobs,
+	})
 }
 
 // writeServiceProm is the telemetry.Multi extra writer: service-level
-// families appended after the per-job exposition, so memo and retention
-// gauges stay scrapeable even when every job record has been deleted.
+// families appended after the per-job exposition, so memo, retention and
+// lifecycle-latency series stay scrapeable even when every job record
+// has been deleted.
 func (s *Service) writeServiceProm(w io.Writer) error {
 	m := s.memoStatsDoc()
-	_, err := fmt.Fprintf(w, `# HELP ramr_memo_hits_total Submissions answered from the result memo cache.
+	v, gv := buildInfo()
+	if _, err := fmt.Fprintf(w, `# HELP ramr_memo_hits_total Submissions answered from the result memo cache.
 # TYPE ramr_memo_hits_total counter
 ramr_memo_hits_total %d
 # HELP ramr_memo_misses_total Submissions that found no cached result.
@@ -763,9 +1144,25 @@ ramr_service_jobs_retained %d
 # HELP ramr_service_metrics_registered Live per-job telemetry registrations.
 # TYPE ramr_service_metrics_registered gauge
 ramr_service_metrics_registered %d
+# HELP ramr_build_info Build metadata; value is always 1.
+# TYPE ramr_build_info gauge
+ramr_build_info{version=%q,go_version=%q} 1
+# HELP ramr_service_uptime_seconds Seconds since the service started.
+# TYPE ramr_service_uptime_seconds gauge
+ramr_service_uptime_seconds %g
 `,
 		m.Hits, m.Misses, m.Coalesced, m.Evictions,
 		m.Bytes, m.Entries, m.MaxBytes,
-		m.RetainedJobs, m.RegisteredMetrics)
-	return err
+		m.RetainedJobs, m.RegisteredMetrics,
+		v, gv, time.Since(s.start).Seconds()); err != nil {
+		return err
+	}
+	for _, h := range []*telemetry.HistogramVec{
+		s.hist.e2e, s.hist.queueWait, s.hist.alloc, s.hist.phase,
+	} {
+		if err := h.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefLatencyBuckets are the default histogram bounds for job-lifecycle
+// latencies, spanning sub-millisecond admission work to minute-long jobs.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a Prometheus-style cumulative histogram. Unlike the
+// worker counters, which sit on the engine hot path and are atomics,
+// histograms record job-lifecycle observations — a handful per job — so
+// a mutex is plenty and keeps bucket+sum+count updates consistent.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending, +Inf implicit
+	buckets []uint64  // count per bound (non-cumulative; summed at export)
+	sum     float64
+	count   uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds; nil bounds use DefLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// write emits the series of one histogram with the given rendered label
+// prefix (`k="v",` form, or "").
+func (h *Histogram) write(bw *bufio.Writer, name, labels string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	buckets := append([]uint64(nil), h.buckets...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += buckets[i]
+		fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n",
+			name, labels, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, count)
+	if labels == "" {
+		fmt.Fprintf(bw, "%s_sum %g\n%s_count %d\n", name, sum, name, count)
+	} else {
+		trimmed := labels[:len(labels)-1]
+		fmt.Fprintf(bw, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, trimmed, sum, name, trimmed, count)
+	}
+}
+
+// HistogramVec is a labelled family of Histograms, keyed by the values
+// of a fixed label-name list (like workload/engine/priority). Children
+// are created on first observation and live for the process lifetime —
+// the service tier's label sets are bounded (registered workloads ×
+// engines × priorities), so the family cannot grow without bound.
+type HistogramVec struct {
+	name   string
+	help   string
+	bounds []float64
+
+	mu       sync.Mutex
+	labels   []string
+	children map[string]*Histogram // keyed by rendered label prefix
+	order    []string              // insertion order for stable scrapes
+}
+
+// NewHistogramVec returns an empty family. labelNames must be valid
+// Prometheus label names and must not include "le"; nil bounds use
+// DefLatencyBuckets.
+func NewHistogramVec(name, help string, labelNames []string, bounds []float64) *HistogramVec {
+	for _, l := range labelNames {
+		if l == "le" {
+			panic("telemetry: histogram label name le is reserved")
+		}
+	}
+	return &HistogramVec{
+		name: name, help: help, bounds: bounds,
+		labels:   append([]string(nil), labelNames...),
+		children: map[string]*Histogram{},
+	}
+}
+
+// Observe records v in the child identified by labelValues, which must
+// match the family's label names in count and order.
+func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			v.name, len(v.labels), len(labelValues)))
+	}
+	key := ""
+	for i, name := range v.labels {
+		key += fmt.Sprintf("%s=%q,", name, labelValues[i])
+	}
+	v.mu.Lock()
+	h, ok := v.children[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.children[key] = h
+		v.order = append(v.order, key)
+	}
+	v.mu.Unlock()
+	h.Observe(val)
+}
+
+// WritePrometheus emits the family as one HELP/TYPE block followed by
+// every child's series in first-observation order. Families with no
+// observations emit nothing, matching the aggregator's empty-exposition
+// convention.
+func (v *HistogramVec) WritePrometheus(w io.Writer) error {
+	v.mu.Lock()
+	order := append([]string(nil), v.order...)
+	children := make([]*Histogram, len(order))
+	for i, key := range order {
+		children[i] = v.children[key]
+	}
+	v.mu.Unlock()
+	if len(order) == 0 {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for i, key := range order {
+		children[i].write(bw, v.name, key)
+	}
+	return bw.Flush()
+}
+
+// Series returns the rendered label prefixes of the live children,
+// sorted — a test hook for asserting family cardinality.
+func (v *HistogramVec) Series() []string {
+	v.mu.Lock()
+	out := append([]string(nil), v.order...)
+	v.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

@@ -46,6 +46,14 @@ func New() *Collector {
 	return &Collector{epoch: time.Now()}
 }
 
+// Epoch returns the collector's time origin: every Event.Start is an
+// offset from it. Exposed so a higher layer (internal/obs) can re-base
+// the run's relative timeline onto an absolute axis when stitching the
+// worker lanes under a job-lifecycle trace.
+func (c *Collector) Epoch() time.Time {
+	return c.epoch
+}
+
 // Shard opens a private event buffer for one worker. Safe to call from
 // any goroutine; the returned shard must be used by one goroutine only.
 func (c *Collector) Shard(worker string) *Shard {

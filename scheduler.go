@@ -3,10 +3,13 @@ package ramr
 import (
 	"context"
 	"sync"
+	"time"
 
 	"ramr/internal/core"
+	"ramr/internal/obs"
 	"ramr/internal/phoenix"
 	"ramr/internal/sched"
+	"ramr/internal/trace"
 )
 
 // Priority is a scheduled job's service class; higher classes receive a
@@ -86,9 +89,11 @@ type SubmitOptions struct {
 // JobHandle tracks one submitted job and carries its typed result.
 type JobHandle[K comparable, R any] struct {
 	job *sched.Job
+	rec *obs.Recorder
 
-	mu  sync.Mutex
-	res *Result[K, R]
+	mu       sync.Mutex
+	res      *Result[K, R]
+	finished sync.Once
 }
 
 // Submit admits spec for execution under sc's budget. The engine config
@@ -105,7 +110,7 @@ func Submit[S any, K comparable, V, R any](sc *Scheduler, spec *Spec[S, K, V, R]
 	if name == "" {
 		name = spec.Name
 	}
-	h := &JobHandle[K, R]{}
+	h := &JobHandle[K, R]{rec: obs.New(name)}
 	c := cfg
 	c.Machine = sc.s.Machine()
 	job, err := sc.s.Submit(sched.JobSpec{
@@ -116,6 +121,14 @@ func Submit[S any, K comparable, V, R any](sc *Scheduler, spec *Spec[S, K, V, R]
 		Run: func(ctx context.Context, grant []int) error {
 			rc := c
 			rc.ApplyGrant(grant)
+			// Worker-lane tracing: stitch the run's collector under the
+			// handle's lifecycle trace, creating one when the caller
+			// didn't attach their own.
+			if rc.Trace == nil {
+				rc.Trace = trace.New()
+			}
+			h.rec.AttachEngine(rc.Trace)
+			execStart := time.Now()
 			var (
 				res *Result[K, R]
 				err error
@@ -125,6 +138,8 @@ func Submit[S any, K comparable, V, R any](sc *Scheduler, spec *Spec[S, K, V, R]
 			} else {
 				res, err = core.RunContext(ctx, spec, rc)
 			}
+			h.rec.SpanAt("execute", execStart, time.Now(),
+				map[string]any{"cpus": append([]int(nil), grant...)})
 			h.mu.Lock()
 			h.res = res
 			h.mu.Unlock()
@@ -135,6 +150,7 @@ func Submit[S any, K comparable, V, R any](sc *Scheduler, spec *Spec[S, K, V, R]
 		return nil, err
 	}
 	h.job = job
+	h.rec.SetJob(job.ID(), name)
 	return h, nil
 }
 
@@ -176,3 +192,31 @@ func (h *JobHandle[K, R]) DropWaiter() bool { return h.job.DropWaiter() }
 
 // Waiters returns the current waiter count (1 right after Submit).
 func (h *JobHandle[K, R]) Waiters() int { return h.job.Waiters() }
+
+// Trace returns the job's lifecycle trace. Once the job is terminal the
+// scheduler-side spans (queue wait, grant allocation with the CPU set as
+// span args) are finalized from the settled status and the root span
+// closes; called earlier, it serves whatever has been recorded so far.
+// Render with JobTrace.WriteChromeTrace and load at ui.perfetto.dev —
+// the lifecycle lane sits above the run's worker lanes.
+func (h *JobHandle[K, R]) Trace() *JobTrace {
+	st := h.job.Status()
+	if st.State == sched.StateDone || st.State == sched.StateCanceled {
+		h.finished.Do(func() {
+			if !st.Started.IsZero() {
+				h.rec.SpanAt("queue-wait", st.QueuedAt, st.Started, nil)
+				h.rec.SpanAt("grant-alloc", st.Started.Add(-st.AllocDur), st.Started,
+					map[string]any{"cpus": st.Grant})
+			}
+			status := "done"
+			switch {
+			case st.State == sched.StateCanceled:
+				status = "canceled"
+			case st.Err != nil:
+				status = "error"
+			}
+			h.rec.Finish(status)
+		})
+	}
+	return h.rec
+}

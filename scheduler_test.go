@@ -1,7 +1,9 @@
 package ramr_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"testing"
 	"time"
@@ -76,6 +78,68 @@ func TestSchedulerConcurrentJobs(t *testing.T) {
 	}
 	if leaked := faultinject.AwaitNoWorkers(2 * time.Second); len(leaked) > 0 {
 		t.Fatalf("%d goroutines leaked after scheduled runs", len(leaked))
+	}
+}
+
+// TestJobHandleTrace checks the public lifecycle-trace surface: after a
+// scheduled job finishes, Trace() serves a Chrome-trace JSON document
+// whose lifecycle spans cover queue wait, grant allocation (CPU set as
+// span args) and the execution, with worker lanes stitched below.
+func TestJobHandleTrace(t *testing.T) {
+	sc, err := ramr.NewScheduler(ramr.SchedulerConfig{Machine: ramr.HaswellServer(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ramr.DefaultConfig()
+	cfg.Pin = ramr.PinNone
+
+	h, err := ramr.Submit(sc, wcSpec(8), cfg, ramr.SubmitOptions{Name: "traced", MaxCPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := h.Trace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	spans := map[string]map[string]any{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			spans[ev["name"].(string)] = ev
+		}
+	}
+	for _, want := range []string{"traced", "queue-wait", "grant-alloc", "execute"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("trace missing span %q", want)
+		}
+	}
+	if args, _ := spans["traced"]["args"].(map[string]any); args == nil ||
+		int(args["job_id"].(float64)) != h.ID() || args["status"] != "done" {
+		t.Fatalf("root span args = %v, want job_id=%d status=done", spans["traced"]["args"], h.ID())
+	}
+	ga, _ := spans["grant-alloc"]["args"].(map[string]any)
+	if ga == nil || len(ga["cpus"].([]any)) == 0 {
+		t.Fatalf("grant-alloc span args = %v, want non-empty cpus", ga)
+	}
+	// Worker lanes from the attached collector: at least one thread_name
+	// metadata row besides the lifecycle lane.
+	lanes := 0
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			lanes++
+		}
+	}
+	if lanes < 2 {
+		t.Fatalf("%d lanes in trace, want lifecycle + worker lanes", lanes)
 	}
 }
 
