@@ -56,6 +56,13 @@ type Result[K comparable, R any] = mr.Result[K, R]
 // Config carries the runtime tuning knobs.
 type Config = mr.Config
 
+// StreamSpec configures windowed streaming ingestion (Config.Stream):
+// tumbling or sliding event-time windows over chunks appended to a
+// resident pipeline, with watermark-triggered seals and a bounded
+// pending-split admission window. Batch runs leave Config.Stream nil;
+// see internal/stream for the resident pipeline itself.
+type StreamSpec = mr.StreamSpec
+
 // PhaseTimes is the per-phase wall-clock profile of a run.
 type PhaseTimes = mr.PhaseTimes
 

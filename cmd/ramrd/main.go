@@ -14,6 +14,20 @@
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/debug/events
 //
+// Streaming sessions keep a resident pipeline alive across windowed
+// results instead of tearing workers down per job: submit with a
+// "stream" spec, feed chunks over time, read sealed windows, close to
+// seal the tail. Backpressured ingestion answers 429 with a Retry-After
+// hint when the pending-split bound is hit:
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	     -d '{"workload":"SYNTH","stream":{"window":1,"max_pending":64}}'
+//	curl -s -X POST localhost:8080/jobs/1/chunks -d '{"ts":0,"elements":4096}'
+//	curl -s -X POST localhost:8080/jobs/1/chunks -d '{"ts":1,"elements":4096}'
+//	curl -s localhost:8080/jobs/1/windows        # sealed window summaries
+//	curl -s localhost:8080/jobs/1/windows/0      # one sealed window
+//	curl -s -X POST localhost:8080/jobs/1/close  # seal tail, settle job
+//
 // Logs are structured (log/slog): text by default, JSON with
 // -log-format json. Job lines carry job_id and content_digest attrs, so
 // one grep correlates a submission across admission, scheduling and

@@ -49,6 +49,7 @@ var workerSites = []string{
 	"ramr/internal/phoenix.RunContext",
 	"ramr/internal/sched.(*Scheduler).startLocked",
 	"ramr/internal/sched.runSafe",
+	"ramr/internal/stream.(",
 	"ramr/internal/spsc.(",
 	"ramr/internal/mr.MergeContainers",
 	"ramr/internal/mr.ReduceAll",

@@ -139,6 +139,12 @@ type Config struct {
 	// must be nil outside tests; engines never touch a nil Hooks on the
 	// hot path.
 	Hooks *Hooks
+	// Stream, when non-nil, marks the configuration as a resident
+	// streaming pipeline (internal/stream): input arrives as chunks
+	// over time and results are emitted per sealed window instead of
+	// once at the end. The one-shot batch engines reject a Config with
+	// Stream set — nil keeps batch behaviour bit-for-bit.
+	Stream *StreamSpec
 }
 
 // Default knob values; the paper's tuned settings where it states them.
@@ -291,6 +297,9 @@ func (c Config) Validate() error {
 		seen[cpu] = true
 	}
 	if err := c.Tuner.Validate(); err != nil {
+		return err
+	}
+	if err := c.Stream.Validate(); err != nil {
 		return err
 	}
 	return nil

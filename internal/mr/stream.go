@@ -1,0 +1,85 @@
+package mr
+
+import "fmt"
+
+// DefaultMaxPending is the default bound on splits that have been
+// appended to a streaming pipeline but not yet fully mapped. Beyond it
+// Append rejects with a backpressure error instead of queueing unbounded
+// input — the streaming twin of the SPSC ring's fixed capacity (§III-A).
+const DefaultMaxPending = 1024
+
+// StreamSpec configures windowed streaming execution: with
+// Config.Stream set, a job is not a one-shot batch but a resident
+// pipeline (internal/stream) whose mappers accept input chunks arriving
+// over time and whose combiners accumulate into per-window containers.
+//
+// Time is logical: every appended chunk carries an event-time tick (or
+// is auto-assigned the next tick), windows cover half-open tick ranges,
+// and the watermark — the highest tick seen minus Lateness — decides
+// when a window can no longer receive data and is sealed into an
+// immutable snapshot result. Logical ticks keep sealing deterministic
+// under test and independent of wall-clock scheduling jitter.
+type StreamSpec struct {
+	// Window is the window width in event-time ticks. Window n covers
+	// ticks [n*Slide, n*Slide+Window). Must be >= 1.
+	Window int64
+	// Slide is the window stride in ticks: 0 (or Window) selects
+	// tumbling windows; a smaller value selects sliding windows and
+	// must divide Window evenly (the pipeline slices state into
+	// Slide-sized panes shared by the overlapping windows).
+	Slide int64
+	// Lateness is how many ticks behind the maximum observed tick the
+	// watermark trails. 0 seals a window as soon as a tick past its end
+	// arrives; larger values admit out-of-order chunks that far back.
+	// Chunks older than the watermark are rejected, never silently
+	// dropped.
+	Lateness int64
+	// MaxPending bounds appended-but-unmapped splits; Append rejects
+	// with a backpressure error beyond it. 0 selects DefaultMaxPending.
+	// A single chunk carrying more than MaxPending splits can never be
+	// admitted, so producers must keep chunks under the bound.
+	MaxPending int
+}
+
+// Resolved returns the spec with defaults filled in: Slide 0 becomes
+// Window (tumbling), MaxPending 0 becomes DefaultMaxPending.
+func (s StreamSpec) Resolved() StreamSpec {
+	if s.Slide == 0 {
+		s.Slide = s.Window
+	}
+	if s.MaxPending == 0 {
+		s.MaxPending = DefaultMaxPending
+	}
+	return s
+}
+
+// PanesPerWindow returns how many Slide-sized panes one window spans
+// (1 for tumbling windows). Call on a Resolved spec.
+func (s StreamSpec) PanesPerWindow() int64 {
+	if s.Slide <= 0 {
+		return 1
+	}
+	return s.Window / s.Slide
+}
+
+// Validate reports the first problem with the spec. A nil spec is valid
+// (batch execution).
+func (s *StreamSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	r := s.Resolved()
+	switch {
+	case r.Window < 1:
+		return fmt.Errorf("mr: stream Window must be >= 1 tick, got %d", r.Window)
+	case r.Slide < 1 || r.Slide > r.Window:
+		return fmt.Errorf("mr: stream Slide must be in [1, Window], got %d", r.Slide)
+	case r.Window%r.Slide != 0:
+		return fmt.Errorf("mr: stream Slide %d must divide Window %d evenly", r.Slide, r.Window)
+	case r.Lateness < 0:
+		return fmt.Errorf("mr: stream Lateness must be >= 0, got %d", r.Lateness)
+	case r.MaxPending < 1:
+		return fmt.Errorf("mr: stream MaxPending must be >= 1, got %d", r.MaxPending)
+	}
+	return nil
+}

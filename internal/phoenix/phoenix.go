@@ -45,6 +45,9 @@ func RunContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spe
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Stream != nil {
+		return nil, fmt.Errorf("phoenix: Config.Stream is set; streaming runs go through internal/stream, not the batch engine")
+	}
 	// A context that is already dead must fail fast: no worker or sampler
 	// is ever created for a run that cannot make progress.
 	if err := ctx.Err(); err != nil {

@@ -47,6 +47,11 @@ type JobRequest struct {
 	Config ConfigOverlay `json:"config,omitempty"`
 	// Synth parameterizes the SYNTH workload; ignored otherwise.
 	Synth SynthParams `json:"synth,omitempty"`
+	// Stream, when present, opens a resident streaming session instead
+	// of a one-shot batch run: input arrives via POST /jobs/{id}/chunks
+	// and per-window results are served from GET /jobs/{id}/windows.
+	// Streaming is supported for the SYNTH workload on the ramr engine.
+	Stream *StreamRequest `json:"stream,omitempty"`
 
 	// Parsed during validation.
 	engine   workloads.Engine
@@ -54,6 +59,48 @@ type JobRequest struct {
 	// rec, when set by the HTTP layer, is the lifecycle recorder the
 	// submission's spans land in; Submit creates one when nil.
 	rec *obs.Recorder
+	// synthParams is the fully-resolved SYNTH parameterization (the
+	// streaming path rebuilds the job per grant from it).
+	synthParams synth.Params
+}
+
+// resolveSynthParams overlays the request's synth parameters onto the
+// Fig. 4 defaults, validating kernel kinds and the skew exponent.
+func resolveSynthParams(sp SynthParams) (synth.Params, error) {
+	p := synth.DefaultParams()
+	if sp.Elements > 0 {
+		p.Elements = sp.Elements
+	}
+	if sp.Keys > 0 {
+		p.Keys = sp.Keys
+	}
+	if sp.MapKind != "" || sp.MapIntensity > 0 {
+		k, err := parseKernelKind(sp.MapKind)
+		if err != nil {
+			return p, err
+		}
+		p.MapKernel.Kind = k
+		if sp.MapIntensity > 0 {
+			p.MapKernel.Intensity = sp.MapIntensity
+		}
+	}
+	if sp.CombineKind != "" || sp.CombineIntensity > 0 {
+		k, err := parseKernelKind(sp.CombineKind)
+		if err != nil {
+			return p, err
+		}
+		p.CombineKernel.Kind = k
+		if sp.CombineIntensity > 0 {
+			p.CombineKernel.Intensity = sp.CombineIntensity
+		}
+	}
+	if sp.Skew != 0 {
+		if sp.Skew <= 1 {
+			return p, fmt.Errorf("synth.skew must be 0 (uniform) or > 1 (zipf exponent), got %g", sp.Skew)
+		}
+		p.Skew = sp.Skew
+	}
+	return p, nil
 }
 
 // ConfigOverlay is the subset of mr.Config settable over the API.
@@ -67,6 +114,38 @@ type ConfigOverlay struct {
 	EmitBatch     int    `json:"emit_batch,omitempty"`
 	Pin           string `json:"pin,omitempty"`
 	Steal         string `json:"steal,omitempty"`
+}
+
+// StreamRequest is the POST /jobs "stream" object: the window and
+// backpressure spec of a resident streaming session (mr.StreamSpec over
+// JSON). Time is logical: chunks carry event-time ticks (or are
+// auto-assigned the next tick) and the watermark trails the highest
+// tick by Lateness.
+type StreamRequest struct {
+	// Window is the window width in ticks (required, >= 1).
+	Window int64 `json:"window"`
+	// Slide is the window stride: 0 selects tumbling windows; a
+	// divisor of Window selects sliding windows.
+	Slide int64 `json:"slide,omitempty"`
+	// Lateness is how many ticks of out-of-order input are admitted
+	// before a window seals.
+	Lateness int64 `json:"lateness,omitempty"`
+	// MaxPending bounds appended-but-unmapped splits; chunks beyond it
+	// draw 429 with a Retry-After hint. 0 selects the default (1024).
+	MaxPending int `json:"max_pending,omitempty"`
+}
+
+// spec converts the request to the runtime's window spec.
+func (sr *StreamRequest) spec() *mr.StreamSpec {
+	if sr == nil {
+		return nil
+	}
+	return &mr.StreamSpec{
+		Window:     sr.Window,
+		Slide:      sr.Slide,
+		Lateness:   sr.Lateness,
+		MaxPending: sr.MaxPending,
+	}
 }
 
 // SynthParams parameterizes the synthetic workload (§III-C): kernel
@@ -166,40 +245,11 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 	case "":
 		return nil, cfg, "", fmt.Errorf("workload is required")
 	case "SYNTH":
-		p := synth.DefaultParams()
-		sp := req.Synth
-		if sp.Elements > 0 {
-			p.Elements = sp.Elements
+		p, err := resolveSynthParams(req.Synth)
+		if err != nil {
+			return nil, cfg, "", err
 		}
-		if sp.Keys > 0 {
-			p.Keys = sp.Keys
-		}
-		if sp.MapKind != "" || sp.MapIntensity > 0 {
-			k, err := parseKernelKind(sp.MapKind)
-			if err != nil {
-				return nil, cfg, "", err
-			}
-			p.MapKernel.Kind = k
-			if sp.MapIntensity > 0 {
-				p.MapKernel.Intensity = sp.MapIntensity
-			}
-		}
-		if sp.CombineKind != "" || sp.CombineIntensity > 0 {
-			k, err := parseKernelKind(sp.CombineKind)
-			if err != nil {
-				return nil, cfg, "", err
-			}
-			p.CombineKernel.Kind = k
-			if sp.CombineIntensity > 0 {
-				p.CombineKernel.Intensity = sp.CombineIntensity
-			}
-		}
-		if sp.Skew != 0 {
-			if sp.Skew <= 1 {
-				return nil, cfg, "", fmt.Errorf("synth.skew must be 0 (uniform) or > 1 (zipf exponent), got %g", sp.Skew)
-			}
-			p.Skew = sp.Skew
-		}
+		req.synthParams = p
 		job = synth.NewJob(p, req.Seed)
 		inputKey = fmt.Sprintf("synth=%d,%d,%d,%d,%d,%d,%g",
 			p.Elements, p.Keys,
@@ -266,11 +316,34 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 	if req.Tuner {
 		cfg.Tuner = &tuner.Config{Seed: req.Seed}
 	}
+	if req.Stream != nil {
+		if app != "SYNTH" {
+			return nil, cfg, "", fmt.Errorf("streaming is supported for the SYNTH workload only, not %s", app)
+		}
+		if req.engine != workloads.EngineRAMR {
+			return nil, cfg, "", fmt.Errorf("streaming runs on the ramr engine only")
+		}
+		spec := req.Stream.spec()
+		if err := spec.Validate(); err != nil {
+			return nil, cfg, "", err
+		}
+		cfg.Stream = spec
+	}
 
 	h := sha256.New()
 	fmt.Fprintf(h, "app=%s|engine=%d|seed=%d|tuner=%t|%s|cfg=%d,%d,%d,%d,%d,%d,%d,%d,%d",
 		app, int(req.engine), req.Seed, req.Tuner, inputKey,
 		ov.Mappers, ov.Combiners, cfg.Ratio, cfg.TaskSize, cfg.QueueCapacity,
 		cfg.BatchSize, cfg.EmitBatch, int(cfg.Pin), int(cfg.Steal))
+	if cfg.Stream != nil {
+		// The window spec is part of the computation's identity (the
+		// same chunks under different windows yield different results).
+		// Hash the resolved spec so explicit defaults and omitted
+		// fields digest alike — not that it matters for caching:
+		// streaming digests exist for identity/logging only, since
+		// streaming submissions bypass the memo cache entirely.
+		r := cfg.Stream.Resolved()
+		fmt.Fprintf(h, "|stream=%d,%d,%d,%d", r.Window, r.Slide, r.Lateness, r.MaxPending)
+	}
 	return job, cfg, hex.EncodeToString(h.Sum(nil)), nil
 }

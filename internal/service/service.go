@@ -116,6 +116,7 @@ type Service struct {
 	log     *slog.Logger
 	ring    *obs.Ring
 	hist    *lifecycleHists
+	stream  *streamMetrics
 	start   time.Time
 
 	mu       sync.Mutex
@@ -143,6 +144,7 @@ type entry struct {
 	rec      *obs.Recorder        // lifecycle trace, set on every entry
 	execBy   int                  // memo hits: id of the executing job
 	hitAt    time.Time            // memo hits: terminal timestamp
+	stream   *streamState         // non-nil marks a streaming session
 
 	mu   sync.Mutex
 	info *workloads.RunInfo
@@ -230,6 +232,7 @@ func New(cfg Config) (*Service, error) {
 		log:      logger,
 		ring:     obs.NewRing(evCap),
 		hist:     newLifecycleHists(),
+		stream:   newStreamMetrics(),
 		start:    time.Now(),
 		entries:  make(map[int]*entry),
 		inflight: make(map[string]*entry),
@@ -297,6 +300,12 @@ func (s *Service) Submit(req *JobRequest) (*resultDoc, error) {
 	endBuild()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if cfg.Stream != nil {
+		// Streaming sessions skip memoization and coalescing entirely:
+		// their result depends on chunks that arrive after admission,
+		// so no content digest can stand in for the computation.
+		return s.submitStream(req, job, cfg, digest, rec)
 	}
 
 	s.mu.Lock()
@@ -527,6 +536,12 @@ func (s *Service) observeLifecycle(e *entry, st sched.JobStatus, info *workloads
 func (s *Service) watch(e *entry) {
 	_ = e.job.Wait(context.Background())
 	st := e.job.Status()
+	if e.stream != nil {
+		// Release chunk/close handlers waiting on a session that will
+		// never start (job cancelled while queued, Run never invoked).
+		// A no-op when the session was published.
+		e.stream.fail(fmt.Errorf("streaming session over: job %s", st.State))
+	}
 	e.mu.Lock()
 	info := e.info
 	e.mu.Unlock()
@@ -546,7 +561,9 @@ func (s *Service) watch(e *entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.inflight, e.digest)
-	if st.Err == nil && info != nil {
+	// Streaming results are never cached: the digest identifies the
+	// session's shape, not the chunk sequence it ingested.
+	if st.Err == nil && info != nil && e.stream == nil {
 		s.cache.Put(e.digest, &cachedRun{
 			jobID:    e.id,
 			workload: e.workload,
@@ -623,6 +640,9 @@ func (s *Service) removeEntryLocked(e *entry) {
 	if e.telem != nil {
 		s.multi.Unregister(strconv.Itoa(e.id))
 	}
+	if e.stream != nil {
+		s.stream.lag.Delete(strconv.Itoa(e.id))
+	}
 }
 
 // Shutdown stops admission and drains the scheduler: queued jobs still
@@ -681,6 +701,9 @@ type entryStatus struct {
 	// Waiters counts the parties attached to the execution (submitter
 	// plus coalesced duplicates); 0 once terminal records settle.
 	Waiters int `json:"waiters,omitempty"`
+	// Stream is present on streaming sessions: the resolved window spec
+	// and, once the grant landed, the live ingestion counters.
+	Stream *streamStatusDoc `json:"stream,omitempty"`
 }
 
 // resultDoc is the full result document for GET /jobs/{id}/result, and
@@ -766,6 +789,7 @@ func (s *Service) statusLocked(e *entry) entryStatus {
 	if js.Err != nil {
 		st.Error = js.Err.Error()
 	}
+	st.Stream = e.streamStatus()
 	fillResult(&st, e.runInfo())
 	return st
 }
@@ -777,7 +801,11 @@ func (s *Service) statusLocked(e *entry) entryStatus {
 //	GET    /jobs/{id}        status: state, grant, phase times, queue stats
 //	GET    /jobs/{id}/result full result incl. telemetry and tuner reports
 //	GET    /jobs/{id}/trace  lifecycle + worker-lane Chrome-trace JSON
-//	DELETE /jobs/{id}        cancel (queued or running)
+//	DELETE /jobs/{id}        cancel (queued, running or streaming)
+//	POST   /jobs/{id}/chunks     streaming: append a chunk (202/429/409)
+//	GET    /jobs/{id}/windows    streaming: sealed window summaries
+//	GET    /jobs/{id}/windows/{n} streaming: one sealed window (202 open)
+//	POST   /jobs/{id}/close      streaming: seal final window and settle
 //	GET    /stats            scheduler occupancy, memo, runtime sections
 //	GET    /metrics          aggregated Prometheus exposition, per-job labels
 //	GET    /debug/events     bounded ring of scheduler/memo events
@@ -791,6 +819,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/chunks", s.handleStreamChunk)
+	mux.HandleFunc("GET /jobs/{id}/windows", s.handleStreamWindows)
+	mux.HandleFunc("GET /jobs/{id}/windows/{n}", s.handleStreamWindow)
+	mux.HandleFunc("POST /jobs/{id}/close", s.handleStreamClose)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.multi.Handler())
 	mux.HandleFunc("GET /debug/events", s.handleEvents)
@@ -1164,5 +1196,5 @@ ramr_service_uptime_seconds %g
 			return err
 		}
 	}
-	return nil
+	return s.writeStreamProm(w)
 }

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"ramr/internal/container"
+	"ramr/internal/mr"
+	"ramr/internal/stream"
+)
+
+// NewStreamSession builds a resident streaming session over the
+// synthetic kernels: the same Map/Combine/Reduce algebra as NewJob, but
+// input elements arrive as chunks over time instead of as a fixed split
+// list. A chunk's RawChunk.Elements asks for that many generated
+// elements; element indices continue monotonically across chunks, so a
+// stream of chunks totalling N elements emits exactly the pairs a batch
+// run over N elements would (per-window digests differ from the batch
+// digest only by the window partitioning).
+//
+// Skewed input (Params.Skew > 1) is rejected: the Zipf key table and
+// the sorted heavy-head split layout are properties of a complete input
+// known up front, which a stream by definition lacks.
+func NewStreamSession(p Params, seed int64, cfg mr.Config) (*stream.Session, error) {
+	if p.Skew > 1 {
+		return nil, fmt.Errorf("synth: streaming SYNTH does not support skewed input (skew=%g): the Zipf tables need the whole input up front", p.Skew)
+	}
+	if p.SplitElements < 1 {
+		p.SplitElements = 512
+	}
+	if p.Keys < 1 {
+		p.Keys = 1
+	}
+	mk, ck := p.MapKernel, p.CombineKernel
+	keys := p.Keys
+	s64 := uint64(seed)
+	spec := &mr.Spec[[2]int, int, uint64, uint64]{
+		Name: "SYNTH",
+		Map: func(rng [2]int, emit func(int, uint64)) {
+			for e := rng[0]; e < rng[1]; e++ {
+				tok := mk.Run(uint64(e) ^ s64)
+				emit(e%keys, tok+1)
+			}
+		},
+		Combine: func(a, b uint64) uint64 {
+			_ = ck.Run(a ^ b)
+			return a + b
+		},
+		Reduce:       mr.IdentityReduce[int, uint64](),
+		NewContainer: func() container.Container[int, uint64] { return container.NewFixedArray[uint64](keys) },
+		Less:         func(a, b int) bool { return a < b },
+	}
+	pipe, err := stream.New(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// next hands each chunk a fresh contiguous element range; atomic
+	// because concurrent producers may append chunks in parallel.
+	var next atomic.Int64
+	splitSize := p.SplitElements
+	return stream.Erase(pipe, stream.EraseOpts[[2]int, int, uint64]{
+		Decode: func(rc stream.RawChunk) ([][2]int, error) {
+			if len(rc.Lines) > 0 {
+				return nil, fmt.Errorf("synth: SYNTH chunks carry elements, not lines")
+			}
+			if rc.Elements < 0 {
+				return nil, fmt.Errorf("synth: chunk elements must be >= 0, got %d", rc.Elements)
+			}
+			if rc.Elements == 0 {
+				return nil, nil
+			}
+			n := rc.Elements
+			base := int(next.Add(int64(n))) - n
+			var splits [][2]int
+			for lo := base; lo < base+n; lo += splitSize {
+				hi := lo + splitSize
+				if hi > base+n {
+					hi = base + n
+				}
+				splits = append(splits, [2]int{lo, hi})
+			}
+			return splits, nil
+		},
+		Digest: func(pairs []mr.Pair[int, uint64]) string {
+			var d uint64
+			for _, pr := range pairs {
+				d += (uint64(pr.Key)*0x9e3779b97f4a7c15 ^ pr.Value) * 0xbf58476d1ce4e5b9
+			}
+			return fmt.Sprintf("%016x", d)
+		},
+		Format: func(pr mr.Pair[int, uint64]) (string, string) {
+			return strconv.Itoa(pr.Key), strconv.FormatUint(pr.Value, 10)
+		},
+	})
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// GaugeVec is a labelled family of float gauges, the settable twin of
+// HistogramVec: children are created on first Set and — unlike
+// histograms, whose lifecycle observations must survive their jobs —
+// removed with Delete when the labelled object goes away, so per-job
+// gauges (a streaming session's watermark lag, say) never accumulate
+// dead series.
+type GaugeVec struct {
+	name string
+	help string
+
+	mu     sync.Mutex
+	labels []string
+	values map[string]float64 // keyed by rendered label prefix
+	order  []string           // insertion order for stable scrapes
+}
+
+// NewGaugeVec returns an empty family. labelNames must be valid
+// Prometheus label names.
+func NewGaugeVec(name, help string, labelNames []string) *GaugeVec {
+	return &GaugeVec{
+		name: name, help: help,
+		labels: append([]string(nil), labelNames...),
+		values: map[string]float64{},
+	}
+}
+
+func (v *GaugeVec) key(labelValues []string) string {
+	if len(labelValues) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
+			v.name, len(v.labels), len(labelValues)))
+	}
+	key := ""
+	for i, name := range v.labels {
+		key += fmt.Sprintf("%s=%q,", name, labelValues[i])
+	}
+	return key
+}
+
+// Set stores the child's current value, creating it on first use.
+func (v *GaugeVec) Set(val float64, labelValues ...string) {
+	key := v.key(labelValues)
+	v.mu.Lock()
+	if _, ok := v.values[key]; !ok {
+		v.order = append(v.order, key)
+	}
+	v.values[key] = val
+	v.mu.Unlock()
+}
+
+// Delete removes the child, dropping its series from the exposition.
+func (v *GaugeVec) Delete(labelValues ...string) {
+	key := v.key(labelValues)
+	v.mu.Lock()
+	if _, ok := v.values[key]; ok {
+		delete(v.values, key)
+		for i, k := range v.order {
+			if k == key {
+				v.order = append(v.order[:i], v.order[i+1:]...)
+				break
+			}
+		}
+	}
+	v.mu.Unlock()
+}
+
+// WritePrometheus emits the family as one HELP/TYPE block followed by
+// every live child in first-set order. An empty family emits nothing,
+// matching the aggregator's empty-exposition convention.
+func (v *GaugeVec) WritePrometheus(w io.Writer) error {
+	v.mu.Lock()
+	order := append([]string(nil), v.order...)
+	values := make([]float64, len(order))
+	for i, key := range order {
+		values[i] = v.values[key]
+	}
+	v.mu.Unlock()
+	if len(order) == 0 {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", v.name, v.help, v.name)
+	for i, key := range order {
+		fmt.Fprintf(bw, "%s{%s} %g\n", v.name, key[:len(key)-1], values[i])
+	}
+	return bw.Flush()
+}
+
+// Series returns the rendered label prefixes of the live children,
+// sorted — a test hook for asserting family cardinality.
+func (v *GaugeVec) Series() []string {
+	v.mu.Lock()
+	out := append([]string(nil), v.order...)
+	v.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

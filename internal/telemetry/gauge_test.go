@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeVecSetDeleteWrite(t *testing.T) {
+	g := NewGaugeVec("ramr_test_lag_seconds", "Test gauge.", []string{"job"})
+
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty family emitted output: %q", sb.String())
+	}
+
+	g.Set(1.5, "7")
+	g.Set(0.25, "9")
+	g.Set(2.5, "7") // overwrite, not a new series
+	sb.Reset()
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP ramr_test_lag_seconds Test gauge.",
+		"# TYPE ramr_test_lag_seconds gauge",
+		`ramr_test_lag_seconds{job="7"} 2.5`,
+		`ramr_test_lag_seconds{job="9"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(g.Series()); got != 2 {
+		t.Fatalf("series count = %d, want 2", got)
+	}
+
+	g.Delete("7")
+	g.Delete("7") // idempotent
+	sb.Reset()
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `job="7"`) {
+		t.Fatalf("deleted series still exposed:\n%s", sb.String())
+	}
+	if got := len(g.Series()); got != 1 {
+		t.Fatalf("series count after delete = %d, want 1", got)
+	}
+
+	// The exposition must satisfy the strict checker.
+	if err := CheckExposition([]byte(sb.String())); err != nil {
+		t.Fatalf("gauge exposition fails validation: %v", err)
+	}
+}
