@@ -1,0 +1,45 @@
+package ramr
+
+import (
+	"context"
+
+	"ramr/internal/cluster"
+	"ramr/internal/service"
+)
+
+// Cluster is the multi-node coordinator: it splits a job submission into
+// data shards, places each shard on a ramrd worker ranked by a link-cost
+// model (the cache-distance victim order lifted to the network), runs
+// the shards over the workers' HTTP job API with retry, saturation-aware
+// re-placement and failed-worker resharding, and merges the per-worker
+// partial containers into one result whose output digest is
+// byte-identical to a single-node run. See cmd/ramrc for the daemon
+// form and DESIGN.md §15 for the protocol.
+type Cluster = cluster.Coordinator
+
+// ClusterConfig parameterizes a Cluster: the worker set with link
+// costs, the shard count, and the retry/backoff/timeout knobs.
+type ClusterConfig = cluster.Config
+
+// ClusterWorker names one ramrd worker and its link cost; workers
+// sharing a cost share a switch tier in placement.
+type ClusterWorker = cluster.WorkerSpec
+
+// ClusterResult is a merged cluster run: the combined output digest and
+// key count, plus each shard's dispatch record (worker, attempts,
+// memo-hit and reshard flags).
+type ClusterResult = cluster.Result
+
+// ClusterJobRequest is the job submission shape shared with the
+// single-node service tier: the coordinator accepts the same document a
+// ramrd worker does (minus "shard", which is coordinator-assigned).
+type ClusterJobRequest = service.JobRequest
+
+// NewCluster validates cfg and builds a Cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// RunCluster dispatches one job across the cluster and blocks until the
+// merged result (or the first unrecoverable failure).
+func RunCluster(ctx context.Context, c *Cluster, req *ClusterJobRequest) (*ClusterResult, error) {
+	return c.Run(ctx, req, nil)
+}

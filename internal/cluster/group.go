@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// group is a minimal errgroup: concurrent tasks sharing a context that
+// is cancelled on the first failure, with the first error returned from
+// Wait. Local because the module deliberately has no dependencies.
+type group struct {
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+func errgroupWithContext(ctx context.Context) (*group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &group{cancel: cancel}, ctx
+}
+
+// Go runs f concurrently; its first non-nil error cancels the group.
+func (g *group) Go(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+				g.cancel()
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks for every task and returns the first error.
+func (g *group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -50,8 +50,15 @@ type JobRequest struct {
 	// Stream, when present, opens a resident streaming session instead
 	// of a one-shot batch run: input arrives via POST /jobs/{id}/chunks
 	// and per-window results are served from GET /jobs/{id}/windows.
-	// Streaming is supported for the SYNTH workload on the ramr engine.
+	// Streaming is supported for SYNTH and WC on the ramr engine.
 	Stream *StreamRequest `json:"stream,omitempty"`
+	// Shard, when present, restricts the run to one shard of the
+	// deterministically generated input (splits with index % count ==
+	// index) and exports the shard's key→value container in the result's
+	// "partial" field for a cluster coordinator to merge. Sharding is
+	// supported for apps with exact integer arithmetic: WC, HG, SYNTH.
+	// Mutually exclusive with Stream.
+	Shard *workloads.ShardSpec `json:"shard,omitempty"`
 
 	// Parsed during validation.
 	engine   workloads.Engine
@@ -250,7 +257,13 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 			return nil, cfg, "", err
 		}
 		req.synthParams = p
-		job = synth.NewJob(p, req.Seed)
+		if req.Shard != nil {
+			if job, err = synth.NewShardJob(p, req.Seed, *req.Shard); err != nil {
+				return nil, cfg, "", err
+			}
+		} else {
+			job = synth.NewJob(p, req.Seed)
+		}
 		inputKey = fmt.Sprintf("synth=%d,%d,%d,%d,%d,%d,%g",
 			p.Elements, p.Keys,
 			int(p.MapKernel.Kind), p.MapKernel.Intensity,
@@ -275,7 +288,11 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 				return nil, cfg, "", err
 			}
 		}
-		if job, err = workloads.NewJobParams(app, in.Params, kind, req.Seed); err != nil {
+		if req.Shard != nil {
+			if job, err = workloads.NewShardJobParams(app, in.Params, kind, req.Seed, *req.Shard); err != nil {
+				return nil, cfg, "", err
+			}
+		} else if job, err = workloads.NewJobParams(app, in.Params, kind, req.Seed); err != nil {
 			return nil, cfg, "", err
 		}
 		inputKey = fmt.Sprintf("input=%d,%d|container=%d", int(platform), int(class), int(kind))
@@ -317,8 +334,11 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 		cfg.Tuner = &tuner.Config{Seed: req.Seed}
 	}
 	if req.Stream != nil {
-		if app != "SYNTH" {
-			return nil, cfg, "", fmt.Errorf("streaming is supported for the SYNTH workload only, not %s", app)
+		if req.Shard != nil {
+			return nil, cfg, "", fmt.Errorf("streaming jobs cannot be sharded")
+		}
+		if app != "SYNTH" && app != "WC" {
+			return nil, cfg, "", fmt.Errorf("streaming is supported for the SYNTH and WC workloads only, not %s", app)
 		}
 		if req.engine != workloads.EngineRAMR {
 			return nil, cfg, "", fmt.Errorf("streaming runs on the ramr engine only")
@@ -344,6 +364,15 @@ func buildJob(req *JobRequest, m *topology.Machine) (*workloads.Job, mr.Config, 
 		// streaming submissions bypass the memo cache entirely.
 		r := cfg.Stream.Resolved()
 		fmt.Fprintf(h, "|stream=%d,%d,%d,%d", r.Window, r.Slide, r.Lateness, r.MaxPending)
+	}
+	if req.Shard != nil {
+		// A shard computes a strict subset of the full job's output, so
+		// its digest must differ both from the unsharded request's and
+		// from every other shard's — otherwise the memo cache would serve
+		// one shard's partial for another. Including the spec here is
+		// also what gives a re-dispatched shard (retry, reshard onto
+		// another worker that already ran it) a shard-level memo hit.
+		fmt.Fprintf(h, "|shard=%d/%d", req.Shard.Index, req.Shard.Count)
 	}
 	return job, cfg, hex.EncodeToString(h.Sum(nil)), nil
 }

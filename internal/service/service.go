@@ -714,6 +714,9 @@ type resultDoc struct {
 	Digest    string            `json:"digest,omitempty"`
 	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
 	Tuner     *tunerSummary     `json:"tuner,omitempty"`
+	// Partial is a shard job's exported key→value container (the cluster
+	// coordinator's merge input); absent for unsharded runs.
+	Partial *workloads.Partial `json:"partial,omitempty"`
 }
 
 // fillResult copies a finished run's summary figures into the status.
@@ -742,6 +745,7 @@ func (doc *resultDoc) fillDetail(info *workloads.RunInfo) {
 		doc.Digest = fmt.Sprintf("%016x", info.Digest)
 	}
 	doc.Telemetry = info.Telemetry
+	doc.Partial = info.Partial
 	if info.Tuner != nil {
 		doc.Tuner = &tunerSummary{
 			Epochs: len(info.Tuner.Epochs),
@@ -830,7 +834,7 @@ func (s *Service) Handler() http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
-	return mux
+	return withProto(mux)
 }
 
 // handleReady is the readiness probe: 503 from the moment Shutdown
@@ -1135,10 +1139,11 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	sortByID(jobs, func(j jobStats) int { return j.ID })
 	writeJSON(w, s.log, http.StatusOK, map[string]any{
-		"scheduler": st,
-		"memo":      s.memoStatsDoc(),
-		"runtime":   s.runtimeStatsDoc(),
-		"jobs":      jobs,
+		"scheduler":    st,
+		"memo":         s.memoStatsDoc(),
+		"runtime":      s.runtimeStatsDoc(),
+		"capabilities": capabilitiesDoc(),
+		"jobs":         jobs,
 	})
 }
 

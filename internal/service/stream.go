@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ramr/internal/container"
 	"ramr/internal/mr"
 	"ramr/internal/obs"
 	"ramr/internal/sched"
@@ -66,6 +67,8 @@ func newStreamMetrics() *streamMetrics {
 // job settles without ever starting (cancelled while queued).
 type streamState struct {
 	spec   mr.StreamSpec // resolved
+	app    string        // SYNTH or WC: selects the session builder
+	kind   container.Kind
 	params synth.Params
 	seed   int64
 
@@ -142,6 +145,8 @@ func (s *Service) submitStream(req *JobRequest, job *workloads.Job, cfg mr.Confi
 	}
 	st := &streamState{
 		spec:    cfg.Stream.Resolved(),
+		app:     job.App,
+		kind:    job.Container,
 		params:  req.synthParams,
 		seed:    req.Seed,
 		idReady: make(chan struct{}),
@@ -209,7 +214,13 @@ func (s *Service) runStream(ctx context.Context, grant []int, e *entry, st *stre
 		c.Combiners = req.Config.Combiners
 	}
 	start := time.Now()
-	sess, err := synth.NewStreamSession(st.params, st.seed, c)
+	var sess *stream.Session
+	var err error
+	if st.app == "WC" {
+		sess, err = workloads.NewWordCountStreamSession(st.kind, c)
+	} else {
+		sess, err = synth.NewStreamSession(st.params, st.seed, c)
+	}
 	if err != nil {
 		st.fail(err)
 		return err

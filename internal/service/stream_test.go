@@ -424,3 +424,96 @@ func TestStreamMetricsExposition(t *testing.T) {
 	}
 	checkNoWorkerLeak(t)
 }
+
+// TestWordCountStreamOverHTTP is the WC streaming acceptance path: a
+// resident Word Count session ingests real text lines over HTTP (not
+// synthetic element counts), seals per-tick windows with exact word
+// counts, and rejects element-style chunks with a client error.
+func TestWordCountStreamOverHTTP(t *testing.T) {
+	svc, ts, tr := newTestService(t, 0)
+
+	code, doc, _ := postPath(t, ts, "/jobs",
+		`{"workload":"WC","max_cpus":8,"config":{"pin":"none"},"stream":{"window":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /jobs (WC stream): HTTP %d (%v)", code, doc)
+	}
+	id := int(doc["id"].(float64))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, st := getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("status for WC stream job %d: HTTP %d (%v)", id, code, st)
+		}
+		if sec, ok := st["stream"].(map[string]any); ok && sec["started"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WC stream session not started after 30s: %v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Tick 0: "to be or not to be" — to:2 be:2 or:1 not:1, six words.
+	// Tick 1: one line repeated over two lines of the same chunk.
+	chunks := []string{
+		`{"ts":0,"lines":["to be or not to be"]}`,
+		`{"ts":1,"lines":["ramr ramr runtime","ramr"]}`,
+		`{"ts":2,"lines":["drain the watermark"]}`,
+	}
+	for i, body := range chunks {
+		code, doc, _ := postPath(t, ts, fmt.Sprintf("/jobs/%d/chunks", id), body)
+		if code != http.StatusAccepted {
+			t.Fatalf("WC chunk %d: HTTP %d (%v)", i, code, doc)
+		}
+	}
+
+	// An element-style chunk (the SYNTH shape) is the client's fault.
+	if code, doc, _ := postPath(t, ts, fmt.Sprintf("/jobs/%d/chunks", id),
+		`{"ts":2,"elements":100}`); code != http.StatusBadRequest {
+		t.Fatalf("element chunk on a WC stream: HTTP %d, want 400 (%v)", code, doc)
+	}
+
+	ws := sealedWindows(t, ts, id, 2)
+	w0 := ws[0].(map[string]any)
+	if got := w0["elements"].(float64); got != 6 {
+		t.Fatalf("window 0 folded %.0f words, want 6", got)
+	}
+	if got := w0["pairs"].(float64); got != 4 {
+		t.Fatalf("window 0 has %.0f distinct words, want 4", got)
+	}
+	if w0["digest"] == nil || w0["digest"] == "" {
+		t.Fatalf("window 0 missing digest: %v", w0)
+	}
+	counts := map[string]string{}
+	for _, sp := range w0["sample"].([]any) {
+		p := sp.(map[string]any)
+		counts[p["key"].(string)] = p["value"].(string)
+	}
+	for word, want := range map[string]string{"to": "2", "be": "2", "or": "1", "not": "1"} {
+		if counts[word] != want {
+			t.Fatalf("window 0 sample: %s=%q, want %q (full: %v)", word, counts[word], want, counts)
+		}
+	}
+	w1 := ws[1].(map[string]any)
+	if got := w1["elements"].(float64); got != 4 {
+		t.Fatalf("window 1 folded %.0f words, want 4", got)
+	}
+	if got := w1["splits"].(float64); got != 2 {
+		t.Fatalf("window 1 saw %.0f splits (lines), want 2", got)
+	}
+
+	code, final, _ := postPath(t, ts, fmt.Sprintf("/jobs/%d/close", id), `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("close: HTTP %d (%v)", code, final)
+	}
+	if ws, _ := final["windows"].([]any); len(ws) != 3 {
+		t.Fatalf("closed WC session sealed %d windows, want 3", len(ws))
+	}
+	doc = waitDone(t, ts, id)
+	if doc["state"] != "done" || doc["error"] != nil {
+		t.Fatalf("closed WC stream settled %v (err %v)", doc["state"], doc["error"])
+	}
+
+	tr.check(t, svc.Scheduler().Budget())
+	checkNoWorkerLeak(t)
+}

@@ -1,0 +1,256 @@
+package simarch
+
+import (
+	"fmt"
+
+	"ramr/internal/topology"
+)
+
+// This file is the cluster tier of the simulator: the Node/Switch/Link
+// cost layer sitting above the cache-distance model, mirroring what
+// internal/cluster does at run time. A machine's caches rank victim
+// cores by transfer distance; a cluster's switches rank worker nodes by
+// link cost. SimulateCluster composes the two: per-shard compute comes
+// from SimulateRAMR (or the DES) on each node's own machine model, and
+// the network layer adds dispatch latency and partial-container upload
+// time over that node's link path, so shard-scaling shapes can be
+// predicted the same way socket-scaling ones are.
+
+// Link is one network hop's cost model, in the same cycle units the
+// machine model uses (cycles of the coordinator's reference clock).
+type Link struct {
+	// LatencyCycles is the one-way message latency across the hop.
+	LatencyCycles float64
+	// BytesPerCycle is the hop's payload bandwidth.
+	BytesPerCycle float64
+}
+
+func (l Link) validate(what string) error {
+	if l.LatencyCycles < 0 {
+		return fmt.Errorf("simarch: %s link latency must be >= 0, got %g", what, l.LatencyCycles)
+	}
+	if l.BytesPerCycle <= 0 {
+		return fmt.Errorf("simarch: %s link bandwidth must be > 0 bytes/cycle, got %g", what, l.BytesPerCycle)
+	}
+	return nil
+}
+
+// Node is one worker in the simulated cluster: a machine model, the
+// pipeline configuration it runs shards with, and the link from the
+// node to its switch.
+type Node struct {
+	Machine *topology.Machine
+	Config  Config
+	Link    Link
+}
+
+// Switch groups nodes behind a shared uplink to the coordinator —
+// the simulated form of cluster.WorkerSpec's cost tiers, where workers
+// sharing a cost share a switch. A shard's network path is its node's
+// link plus its switch's uplink: latencies add, bandwidth is the
+// narrower of the two.
+type Switch struct {
+	Uplink Link
+	Nodes  []Node
+}
+
+// ClusterConfig parameterizes SimulateCluster.
+type ClusterConfig struct {
+	// Switches is the cluster fabric; at least one switch with at
+	// least one node.
+	Switches []Switch
+	// Shards is the number of data shards the workload is split into;
+	// 0 selects one shard per node, matching the coordinator default.
+	Shards int
+	// PartialBytes is the size of one shard's combined partial
+	// container crossing the network back to the coordinator; 0
+	// selects DefaultPartialBytes.
+	PartialBytes int
+	// MergeCyclesPerByte prices the coordinator's final reduce folding
+	// one partial byte into the merged container; 0 selects
+	// DefaultMergeCyclesPerByte.
+	MergeCyclesPerByte float64
+	// DES selects the discrete-event per-node simulator
+	// (SimulateRAMRDES) instead of the analytic one.
+	DES bool
+}
+
+// Defaults for ClusterConfig's zero values.
+const (
+	DefaultPartialBytes       = 1 << 20
+	DefaultMergeCyclesPerByte = 0.5
+)
+
+// ClusterEstimate is a simulated cluster run.
+type ClusterEstimate struct {
+	// Cycles is the end-to-end job time: the slowest node's
+	// dispatch+compute+upload total plus the merge tail.
+	Cycles float64
+	// NodeCycles is each node's total, in flattened switch order.
+	NodeCycles []float64
+	// MergeCycles is the coordinator's final-reduce tail. It scales
+	// with the shard count, not the node count, so adding workers
+	// never grows it.
+	MergeCycles float64
+	// BoundNode is the index (into NodeCycles) of the critical node.
+	BoundNode int
+}
+
+// clusterNode is a flattened node with its composed coordinator path.
+type clusterNode struct {
+	node Node
+	// path is the node link and switch uplink composed serially.
+	path Link
+}
+
+func flatten(cfg ClusterConfig) ([]clusterNode, error) {
+	if len(cfg.Switches) == 0 {
+		return nil, fmt.Errorf("simarch: cluster has no switches")
+	}
+	var nodes []clusterNode
+	for si, sw := range cfg.Switches {
+		if err := sw.Uplink.validate(fmt.Sprintf("switch %d uplink", si)); err != nil {
+			return nil, err
+		}
+		if len(sw.Nodes) == 0 {
+			return nil, fmt.Errorf("simarch: switch %d has no nodes", si)
+		}
+		for ni, n := range sw.Nodes {
+			if n.Machine == nil {
+				return nil, fmt.Errorf("simarch: switch %d node %d has a nil machine", si, ni)
+			}
+			if err := n.Link.validate(fmt.Sprintf("switch %d node %d", si, ni)); err != nil {
+				return nil, err
+			}
+			bw := n.Link.BytesPerCycle
+			if sw.Uplink.BytesPerCycle < bw {
+				bw = sw.Uplink.BytesPerCycle
+			}
+			nodes = append(nodes, clusterNode{
+				node: n,
+				path: Link{
+					LatencyCycles: n.Link.LatencyCycles + sw.Uplink.LatencyCycles,
+					BytesPerCycle: bw,
+				},
+			})
+		}
+	}
+	return nodes, nil
+}
+
+// shardElements distributes w.Elements over cnt shards the way
+// workloads.ShardSplits does (every cnt-th split from index): near-equal
+// counts with the remainder landing on the low indices.
+func shardElements(total, index, cnt int) int {
+	per := total / cnt
+	if index < total%cnt {
+		per++
+	}
+	return per
+}
+
+// SimulateCluster models one job sharded across the cluster. Placement
+// matches the coordinator's healthy-path round-robin: shard i runs on
+// node i mod N over the flattened switch order. Each node executes its
+// shards back to back (a worker admits one pipeline at a time), paying
+// per shard the dispatch round trip, the shard's map+combine compute on
+// its own machine model, and the partial-container upload over its
+// path; the cluster finishes when the slowest node does, plus the
+// coordinator's merge tail.
+func SimulateCluster(w Workload, cfg ClusterConfig) (ClusterEstimate, error) {
+	nodes, err := flatten(cfg)
+	if err != nil {
+		return ClusterEstimate{}, err
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(nodes)
+	}
+	if cfg.Shards < 1 {
+		return ClusterEstimate{}, fmt.Errorf("simarch: shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.PartialBytes == 0 {
+		cfg.PartialBytes = DefaultPartialBytes
+	}
+	if cfg.PartialBytes < 0 {
+		return ClusterEstimate{}, fmt.Errorf("simarch: partial bytes must be >= 0, got %d", cfg.PartialBytes)
+	}
+	if cfg.MergeCyclesPerByte == 0 {
+		cfg.MergeCyclesPerByte = DefaultMergeCyclesPerByte
+	}
+	if cfg.MergeCyclesPerByte < 0 {
+		return ClusterEstimate{}, fmt.Errorf("simarch: merge cost must be >= 0 cycles/byte, got %g", cfg.MergeCyclesPerByte)
+	}
+	if w.Elements < cfg.Shards {
+		return ClusterEstimate{}, fmt.Errorf("simarch: workload %q has %d elements, fewer than %d shards",
+			w.Name, w.Elements, cfg.Shards)
+	}
+	sim := SimulateRAMR
+	if cfg.DES {
+		sim = SimulateRAMRDES
+	}
+
+	// Per-node compute depends only on (node, shard element count);
+	// near-equal shards make the cache save most of the sim calls.
+	type computeKey struct {
+		node  int
+		elems int
+	}
+	computed := map[computeKey]float64{}
+	compute := func(node, elems int) (float64, error) {
+		key := computeKey{node, elems}
+		if c, ok := computed[key]; ok {
+			return c, nil
+		}
+		sw := w
+		sw.Elements = elems
+		est, err := sim(nodes[node].node.Machine, sw, nodes[node].node.Config)
+		if err != nil {
+			return 0, fmt.Errorf("simarch: node %d: %v", node, err)
+		}
+		computed[key] = est.Cycles
+		return est.Cycles, nil
+	}
+
+	totals := make([]float64, len(nodes))
+	for shard := 0; shard < cfg.Shards; shard++ {
+		ni := shard % len(nodes)
+		elems := shardElements(w.Elements, shard, cfg.Shards)
+		c, err := compute(ni, elems)
+		if err != nil {
+			return ClusterEstimate{}, err
+		}
+		path := nodes[ni].path
+		// Dispatch round trip, compute, then the partial crossing back:
+		// one more latency plus the container over the narrower hop.
+		totals[ni] += 2*path.LatencyCycles + c +
+			path.LatencyCycles + float64(cfg.PartialBytes)/path.BytesPerCycle
+	}
+
+	bound := 0
+	for i, t := range totals {
+		if t > totals[bound] {
+			bound = i
+		}
+	}
+	// The merge tail folds every shard's partial into the merged
+	// container; it scales with the shard count and stays constant in
+	// the worker count, so adding nodes never inflates the estimate.
+	merge := cfg.MergeCyclesPerByte * float64(cfg.PartialBytes) * float64(cfg.Shards)
+	return ClusterEstimate{
+		Cycles:      totals[bound] + merge,
+		NodeCycles:  totals,
+		MergeCycles: merge,
+		BoundNode:   bound,
+	}, nil
+}
+
+// FlatCluster builds a homogeneous single-switch cluster of n identical
+// nodes — the shape of the CI smoke setup (several ramrd processes on
+// one host) and the baseline for shard-scaling sweeps.
+func FlatCluster(n int, m *topology.Machine, cfg Config, node, uplink Link) ClusterConfig {
+	sw := Switch{Uplink: uplink}
+	for i := 0; i < n; i++ {
+		sw.Nodes = append(sw.Nodes, Node{Machine: m, Config: cfg, Link: node})
+	}
+	return ClusterConfig{Switches: []Switch{sw}}
+}

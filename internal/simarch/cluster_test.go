@@ -1,0 +1,206 @@
+package simarch
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ramr/internal/perfmodel"
+	"ramr/internal/topology"
+)
+
+// clusterWorkload is a fixed synthetic workload whose element count
+// divides evenly into the shard counts the tests sweep, so node loads
+// are exact and monotonicity assertions need no slack.
+func clusterWorkload() Workload {
+	return Workload{
+		Name:      "cluster-test",
+		Elements:  48 * 1024,
+		ElemBytes: 64,
+		Map:       perfmodel.PhaseCost{CyclesPerElem: 120, MemFrac: 0.3},
+		Combine:   perfmodel.PhaseCost{CyclesPerElem: 60, MemFrac: 0.5},
+	}
+}
+
+func nodeConfig() Config {
+	return Config{Mappers: 3, Combiners: 1, BatchSize: 256, QueueCap: 1024}
+}
+
+func flatClusterCfg(n, shards int, link Link) ClusterConfig {
+	cfg := FlatCluster(n, topology.Flat(4), nodeConfig(), link, Link{LatencyCycles: 0, BytesPerCycle: 64})
+	cfg.Shards = shards
+	return cfg
+}
+
+var testLink = Link{LatencyCycles: 5000, BytesPerCycle: 8}
+
+// TestClusterDeterministic pins that the estimate is a pure function of
+// its inputs: two runs with identical inputs agree bit for bit, for
+// both the analytic and the DES per-node simulators.
+func TestClusterDeterministic(t *testing.T) {
+	w := clusterWorkload()
+	for _, des := range []bool{false, true} {
+		cfg := flatClusterCfg(3, 12, testLink)
+		cfg.DES = des
+		a, err := SimulateCluster(w, cfg)
+		if err != nil {
+			t.Fatalf("des=%v: %v", des, err)
+		}
+		b, err := SimulateCluster(w, cfg)
+		if err != nil {
+			t.Fatalf("des=%v: %v", des, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("des=%v: estimate not deterministic:\n  %+v\n  %+v", des, a, b)
+		}
+		if a.Cycles <= 0 || math.IsNaN(a.Cycles) {
+			t.Errorf("des=%v: nonsense cycles %g", des, a.Cycles)
+		}
+	}
+}
+
+// TestClusterMoreNodesNeverSlower pins the scaling direction: with the
+// shard count held fixed, adding identical worker nodes never increases
+// the estimate — the merge tail is priced per shard, not per node, and
+// the critical node's load can only shrink as shards spread out.
+func TestClusterMoreNodesNeverSlower(t *testing.T) {
+	w := clusterWorkload()
+	const shards = 12
+	prev := math.Inf(1)
+	for n := 1; n <= 6; n++ {
+		est, err := SimulateCluster(w, flatClusterCfg(n, shards, testLink))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if est.Cycles > prev {
+			t.Errorf("n=%d nodes is slower than n=%d: %.0f > %.0f cycles", n, n-1, est.Cycles, prev)
+		}
+		prev = est.Cycles
+	}
+}
+
+// TestClusterFasterLinksNeverSlower pins the link-cost direction: lower
+// latency or higher bandwidth never increases the estimate.
+func TestClusterFasterLinksNeverSlower(t *testing.T) {
+	w := clusterWorkload()
+	base, err := SimulateCluster(w, flatClusterCfg(3, 12, testLink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, faster := range []Link{
+		{LatencyCycles: testLink.LatencyCycles / 2, BytesPerCycle: testLink.BytesPerCycle},
+		{LatencyCycles: testLink.LatencyCycles, BytesPerCycle: testLink.BytesPerCycle * 4},
+		{LatencyCycles: 0, BytesPerCycle: testLink.BytesPerCycle * 16},
+	} {
+		est, err := SimulateCluster(w, flatClusterCfg(3, 12, faster))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Cycles > base.Cycles {
+			t.Errorf("faster link %+v is slower: %.0f > %.0f cycles", faster, est.Cycles, base.Cycles)
+		}
+	}
+}
+
+// TestClusterMergeTailConstantInNodes pins the monotonicity mechanism
+// itself: the merge tail depends on the shard count alone.
+func TestClusterMergeTailConstantInNodes(t *testing.T) {
+	w := clusterWorkload()
+	var merge float64
+	for n := 1; n <= 4; n++ {
+		est, err := SimulateCluster(w, flatClusterCfg(n, 8, testLink))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 1 {
+			merge = est.MergeCycles
+			continue
+		}
+		if est.MergeCycles != merge {
+			t.Errorf("n=%d: merge tail %.0f differs from n=1's %.0f", n, est.MergeCycles, merge)
+		}
+	}
+}
+
+// TestClusterShardScalingShape pins the end-to-end shape the cluster
+// tier exists to predict: a two-node run of a fixed workload beats a
+// one-node run, but short of 2x — the dispatch and upload overheads
+// plus the merge tail eat part of the ideal speedup, exactly the shape
+// the EXPERIMENTS.md recipe measures against real ramrd workers.
+func TestClusterShardScalingShape(t *testing.T) {
+	w := clusterWorkload()
+	one, err := SimulateCluster(w, flatClusterCfg(1, 4, testLink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SimulateCluster(w, flatClusterCfg(2, 4, testLink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := one.Cycles / two.Cycles
+	if sp <= 1.0 {
+		t.Errorf("two nodes should beat one, speedup %.3f", sp)
+	}
+	if sp >= 2.0 {
+		t.Errorf("speedup %.3f exceeds the ideal 2x despite network and merge overheads", sp)
+	}
+}
+
+// TestClusterSwitchTiers pins the path composition: a node behind a
+// slower uplink finishes later, and the cluster is bound by it.
+func TestClusterSwitchTiers(t *testing.T) {
+	w := clusterWorkload()
+	m := topology.Flat(4)
+	near := Switch{
+		Uplink: Link{LatencyCycles: 0, BytesPerCycle: 64},
+		Nodes:  []Node{{Machine: m, Config: nodeConfig(), Link: testLink}},
+	}
+	far := Switch{
+		Uplink: Link{LatencyCycles: 2e6, BytesPerCycle: 1},
+		Nodes:  []Node{{Machine: m, Config: nodeConfig(), Link: testLink}},
+	}
+	est, err := SimulateCluster(w, ClusterConfig{Switches: []Switch{near, far}, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BoundNode != 1 {
+		t.Errorf("the node behind the slow uplink should bind the run, got node %d (totals %v)",
+			est.BoundNode, est.NodeCycles)
+	}
+	if est.NodeCycles[1] <= est.NodeCycles[0] {
+		t.Errorf("slow-uplink node should be slower: %v", est.NodeCycles)
+	}
+}
+
+// TestClusterValidation pins the error paths.
+func TestClusterValidation(t *testing.T) {
+	w := clusterWorkload()
+	m := topology.Flat(4)
+	ok := Link{LatencyCycles: 10, BytesPerCycle: 8}
+	cases := []struct {
+		name string
+		cfg  ClusterConfig
+	}{
+		{"no switches", ClusterConfig{}},
+		{"empty switch", ClusterConfig{Switches: []Switch{{Uplink: ok}}}},
+		{"nil machine", ClusterConfig{Switches: []Switch{{Uplink: ok, Nodes: []Node{{Link: ok}}}}}},
+		{"zero bandwidth", ClusterConfig{Switches: []Switch{{Uplink: ok,
+			Nodes: []Node{{Machine: m, Config: nodeConfig(), Link: Link{LatencyCycles: 1}}}}}}},
+		{"negative latency", ClusterConfig{Switches: []Switch{{Uplink: Link{LatencyCycles: -1, BytesPerCycle: 1},
+			Nodes: []Node{{Machine: m, Config: nodeConfig(), Link: ok}}}}}},
+		{"negative shards", func() ClusterConfig {
+			c := flatClusterCfg(2, 0, ok)
+			c.Shards = -1
+			return c
+		}()},
+		{"more shards than elements", func() ClusterConfig {
+			c := flatClusterCfg(2, 1<<30, ok)
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := SimulateCluster(w, tc.cfg); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -200,3 +200,52 @@ func TestSkewedEnginesAgree(t *testing.T) {
 		t.Fatal("skew has no effect on the result")
 	}
 }
+
+// TestShardMergeMatchesSingleNode pins the cluster contract for SYNTH,
+// and — because the merge digest fold is re-stated in the workloads
+// package (synthPairDigest) while the job digest fold lives here —
+// cross-checks that the two stay in sync: shard partials merged and
+// summarized must reproduce the single-node digest bit for bit.
+func TestShardMergeMatchesSingleNode(t *testing.T) {
+	p := smallParams()
+	p.Skew = 1.2 // uneven splits exercise the shard partition too
+	full, err := NewJob(p, int64(7)).Run(workloads.EngineRAMR, cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{1, 2, 3, 4} {
+		parts := make([]*workloads.Partial, count)
+		for i := 0; i < count; i++ {
+			sj, err := NewShardJob(p, int64(7), workloads.ShardSpec{Index: i, Count: count})
+			if err != nil {
+				t.Fatal(err)
+			}
+			si, err := sj.Run(workloads.EngineRAMR, cfg(2))
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, count, err)
+			}
+			if si.Partial == nil {
+				t.Fatalf("shard %d/%d exported no partial", i, count)
+			}
+			parts[i] = si.Partial
+		}
+		merged, err := workloads.MergePartials(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, digest, err := merged.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs != full.Pairs || digest != full.Digest {
+			t.Fatalf("sharded %d ways: merged (%d pairs, %016x), single-node (%d pairs, %016x)",
+				count, pairs, digest, full.Pairs, full.Digest)
+		}
+	}
+}
+
+func TestShardJobValidates(t *testing.T) {
+	if _, err := NewShardJob(smallParams(), 1, workloads.ShardSpec{Index: 5, Count: 2}); err == nil {
+		t.Error("out-of-range shard should fail")
+	}
+}

@@ -89,8 +89,12 @@ func HistogramJob(nBytes int, kind container.Kind, seed int64) *Job {
 		InputDesc: fmt.Sprintf("%d pixel-bytes in %d splits", nBytes, len(splits)),
 	}
 	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
-		return RunTypedContext(ctx, spec, eng, cfg, func(k, v int) uint64 {
-			return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
-		})
+		return RunTypedContext(ctx, spec, eng, cfg, hgPairDigest)
 	})
+}
+
+// hgPairDigest folds one HG output pair into the run's order-independent
+// digest; shard merging re-applies it over the merged container.
+func hgPairDigest(k, v int) uint64 {
+	return mix(uint64(k)*0x9e3779b97f4a7c15 ^ uint64(v))
 }

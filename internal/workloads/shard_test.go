@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		sh ShardSpec
+		ok bool
+	}{
+		{ShardSpec{Index: 0, Count: 1}, true},
+		{ShardSpec{Index: 3, Count: 4}, true},
+		{ShardSpec{Index: 4, Count: 4}, false},
+		{ShardSpec{Index: -1, Count: 4}, false},
+		{ShardSpec{Index: 0, Count: 0}, false},
+	} {
+		if err := tc.sh.Validate(); (err == nil) != tc.ok {
+			t.Errorf("ShardSpec%+v.Validate() = %v, want ok=%v", tc.sh, err, tc.ok)
+		}
+	}
+}
+
+// TestShardSplitsPartition pins the sharding invariant every merged
+// digest rests on: the shards partition the split list — every split
+// lands in exactly one shard, in order.
+func TestShardSplitsPartition(t *testing.T) {
+	splits := make([]int, 17)
+	for i := range splits {
+		splits[i] = i
+	}
+	for _, count := range []int{1, 2, 3, 5, 17, 20} {
+		seen := map[int]int{}
+		for idx := 0; idx < count; idx++ {
+			for _, s := range ShardSplits(splits, ShardSpec{Index: idx, Count: count}) {
+				seen[s]++
+			}
+		}
+		if len(seen) != len(splits) {
+			t.Fatalf("count=%d: shards cover %d of %d splits", count, len(seen), len(splits))
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("count=%d: split %d appears in %d shards", count, s, n)
+			}
+		}
+	}
+}
+
+// TestShardMergeMatchesSingleNode is the cluster tier's core contract at
+// the workloads layer: running every shard separately, merging the
+// partials and re-folding the digest reproduces the single-node RunInfo
+// bit for bit — same pair count, same output digest — for every shard
+// count, WC and HG alike.
+func TestShardMergeMatchesSingleNode(t *testing.T) {
+	for _, app := range []string{"WC", "HG"} {
+		full, err := NewJobParams(app, smallParams(app), DefaultContainer(app), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := full.Run(EngineRAMR, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, count := range []int{1, 2, 3, 5} {
+			parts := make([]*Partial, count)
+			for i := 0; i < count; i++ {
+				sj, err := NewShardJobParams(app, smallParams(app), DefaultContainer(app), seed,
+					ShardSpec{Index: i, Count: count})
+				if err != nil {
+					t.Fatal(err)
+				}
+				si, err := sj.Run(EngineRAMR, cfg())
+				if err != nil {
+					t.Fatalf("%s shard %d/%d: %v", app, i, count, err)
+				}
+				if si.Partial == nil {
+					t.Fatalf("%s shard %d/%d: no partial exported", app, i, count)
+				}
+				parts[i] = si.Partial
+			}
+			merged, err := MergePartials(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs, digest, err := merged.Summary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pairs != fi.Pairs || digest != fi.Digest {
+				t.Fatalf("%s sharded %d ways: merged (%d pairs, %016x), single-node (%d pairs, %016x)",
+					app, count, pairs, digest, fi.Pairs, fi.Digest)
+			}
+		}
+	}
+}
+
+func TestMergePartialsErrors(t *testing.T) {
+	if _, err := MergePartials(nil); err == nil {
+		t.Error("merging zero partials should fail")
+	}
+	if _, err := MergePartials([]*Partial{nil, nil}); err == nil {
+		t.Error("merging only nil partials should fail")
+	}
+	_, err := MergePartials([]*Partial{
+		{App: "WC", Str: map[string]int64{"a": 1}},
+		{App: "HG", Int: map[int]uint64{1: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "WC") {
+		t.Errorf("app mismatch should fail naming the apps, got %v", err)
+	}
+	if _, err := MergePartials([]*Partial{
+		{App: "WC", Str: map[string]int64{"a": 1}, Int: map[int]uint64{1: 1}},
+	}); err == nil {
+		t.Error("a partial with both key spaces populated should fail")
+	}
+}
+
+// TestMergePartialsKeySums pins the merge semantics on a hand-checkable
+// case: key-wise sums, absent keys passing through.
+func TestMergePartialsKeySums(t *testing.T) {
+	merged, err := MergePartials([]*Partial{
+		{App: "WC", Str: map[string]int64{"a": 2, "b": 1}},
+		nil, // a skipped shard slot must not derail the fold
+		{App: "WC", Str: map[string]int64{"a": 3, "c": 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"a": 5, "b": 1, "c": 7}
+	if len(merged.Str) != len(want) {
+		t.Fatalf("merged %v, want %v", merged.Str, want)
+	}
+	for k, v := range want {
+		if merged.Str[k] != v {
+			t.Errorf("merged[%q] = %d, want %d", k, merged.Str[k], v)
+		}
+	}
+}
+
+func TestShardableApps(t *testing.T) {
+	for _, app := range ShardableApps() {
+		if !Shardable(app) {
+			t.Errorf("ShardableApps lists %s but Shardable rejects it", app)
+		}
+	}
+	for _, app := range []string{"KM", "LR", "MM", "PCA", "SM", "nope"} {
+		if Shardable(app) {
+			t.Errorf("%s must not be shardable (inexact or non-commutative merge)", app)
+		}
+	}
+	if _, err := NewShardJobParams("KM", smallParams("KM"), DefaultContainer("KM"), seed,
+		ShardSpec{Index: 0, Count: 2}); err == nil {
+		t.Error("sharding KM should fail")
+	}
+}

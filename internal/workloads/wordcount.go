@@ -106,8 +106,14 @@ func WordCountJob(nBytes int, kind container.Kind, seed int64) *Job {
 		InputDesc: fmt.Sprintf("%d words-bytes in %d splits", nBytes, len(splits)),
 	}
 	return j.Bind(func(ctx context.Context, eng Engine, cfg mr.Config) (*RunInfo, error) {
-		return RunTypedContext(ctx, spec, eng, cfg, func(k string, v int) uint64 {
-			return mix(container.HashString(k) ^ mix(uint64(v)))
-		})
+		return RunTypedContext(ctx, spec, eng, cfg, wcPairDigest)
 	})
+}
+
+// wcPairDigest folds one WC output pair into the run's order-independent
+// digest. Shard merging (shard.go) re-applies the same fold over the
+// merged container, so a sharded run's final digest is byte-identical to
+// the single-node run's.
+func wcPairDigest(k string, v int) uint64 {
+	return mix(container.HashString(k) ^ mix(uint64(v)))
 }

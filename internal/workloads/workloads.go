@@ -72,6 +72,11 @@ type RunInfo struct {
 	// tuner (RAMR engine only); nil otherwise. The job service retains
 	// it per job.
 	Tuner *tuner.Report
+	// Partial is the exported partial result container of a shard job
+	// (see shard.go): the full key→value map of this run, in a
+	// JSON-serializable shape a cluster coordinator can merge with other
+	// shards' partials. nil for unsharded runs.
+	Partial *Partial
 }
 
 // Job is a ready-to-run application instance.
@@ -114,6 +119,15 @@ func RunTyped[S any, K comparable, V, R any](spec *mr.Spec[S, K, V, R], eng Engi
 // RunTypedContext is RunTyped with cancellation, the entry point behind
 // Job.RunCtx.
 func RunTypedContext[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], eng Engine, cfg mr.Config, digest func(K, R) uint64) (*RunInfo, error) {
+	return RunTypedExport(ctx, spec, eng, cfg, digest, nil)
+}
+
+// RunTypedExport is RunTypedContext with an optional per-pair export
+// callback, invoked once for every output pair after the run completes.
+// Shard jobs use it to lift their typed output into the type-erased
+// Partial that crosses the cluster wire (see shard.go); a nil export is
+// the plain batch path.
+func RunTypedExport[S any, K comparable, V, R any](ctx context.Context, spec *mr.Spec[S, K, V, R], eng Engine, cfg mr.Config, digest func(K, R) uint64, export func(K, R)) (*RunInfo, error) {
 	start := time.Now()
 	var (
 		res *mr.Result[K, R]
@@ -145,6 +159,11 @@ func RunTypedContext[S any, K comparable, V, R any](ctx context.Context, spec *m
 			d += digest(p.Key, p.Value)
 		}
 		info.Digest = d
+	}
+	if export != nil {
+		for _, p := range res.Pairs {
+			export(p.Key, p.Value)
+		}
 	}
 	return info, nil
 }
